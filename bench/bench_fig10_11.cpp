@@ -1,0 +1,67 @@
+// Figures 10 and 11 of the paper: the mesh-communication application
+// scalability sweep on the 2400-host simulated data center.
+//   Figure 10a/10b — reserved bandwidth vs size (het 25..200 / hom 35..280);
+//   Figure 10c/10d — run time vs size;
+//   Figure 11      — total used hosts vs size (heterogeneous).
+// Expected shape: bandwidth much larger than the multi-tier case (denser
+// pipes), run times higher for every algorithm, and DBA* beating all the
+// greedy baselines including EG_BW on bandwidth.
+#include "scaling.h"
+
+int main(int argc, char** argv) {
+  using namespace ostro;
+  util::ArgParser args("bench_fig10_11", "Figures 10-11: mesh sweep");
+  bench::add_common_flags(args);
+  args.add_string("het-sizes", "25,50,100,150,200",
+                  "heterogeneous sizes (VMs, multiples of 5)");
+  args.add_string("hom-sizes", "35,70,140,210,280",
+                  "homogeneous sizes (VMs, multiples of 5)");
+  args.add_int("racks", 150, "data-center racks (16 hosts each)");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto algorithms = bench::figure_algorithms();
+  for (const auto mix : {sim::RequirementMix::kHeterogeneous,
+                         sim::RequirementMix::kHomogeneous}) {
+    const bool het = mix == sim::RequirementMix::kHeterogeneous;
+    std::vector<int> sizes;
+    if (args.flag("full")) {
+      sizes = het ? std::vector<int>{25, 50, 75, 100, 125, 150, 175, 200}
+                  : std::vector<int>{35, 70, 105, 140, 175, 210, 245, 280};
+    } else {
+      sizes = util::parse_int_list(
+          args.get_string(het ? "het-sizes" : "hom-sizes"));
+    }
+    const bool uniform = !het;  // paper pairing, as in Figures 7-9
+    const auto sweep = bench::run_scaling_sweep(
+        bench::Workload::kMesh, mix, sizes, algorithms,
+        static_cast<int>(args.get_int("runs")),
+        static_cast<std::uint64_t>(args.get_int("seed")),
+        static_cast<int>(args.get_int("racks")), uniform);
+    const std::string suffix =
+        std::string(sim::to_string(mix)) +
+        (uniform ? ", uniform availability" : ", non-uniform availability");
+
+    bench::emit_sweep_metric(
+        sweep, sizes, algorithms,
+        [](const bench::SweepCell& cell) {
+          return bench::mean_pm(cell.bandwidth_gbps, 1);
+        },
+        "reserved bandwidth (Gbps)", args,
+        "Figure 10 (mesh, " + suffix + ")");
+    bench::emit_sweep_metric(
+        sweep, sizes, algorithms,
+        [](const bench::SweepCell& cell) {
+          return bench::mean_pm(cell.runtime_seconds, 2);
+        },
+        "run time (sec)", args, "Figure 10 (mesh, " + suffix + ")");
+    if (het) {
+      bench::emit_sweep_metric(
+          sweep, sizes, algorithms,
+          [](const bench::SweepCell& cell) {
+            return bench::mean_pm(cell.total_hosts, 0);
+          },
+          "total used hosts", args, "Figure 11 (mesh, " + suffix + ")");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the placement hot paths: the
+// constraint checks and estimates that the searches evaluate millions of
+// times, path enumeration in the data-center tree, placement application,
+// and the max-min fair solver that backs the QFS simulator.
+#include <benchmark/benchmark.h>
+
+#include "core/candidates.h"
+#include "core/estimator.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/partial.h"
+#include "core/symmetry.h"
+#include "net/maxmin.h"
+#include "sim/clusters.h"
+#include "sim/workloads.h"
+
+namespace {
+
+using namespace ostro;
+
+struct MicroFixture {
+  dc::DataCenter datacenter = sim::make_sim_datacenter(20, 16);  // 320 hosts
+  dc::Occupancy occupancy{datacenter};
+  topo::AppTopology app;
+  core::SearchConfig config;
+  core::Objective objective;
+
+  MicroFixture()
+      : app([] {
+          util::Rng rng(7);
+          return sim::make_multitier(50, sim::RequirementMix::kHeterogeneous,
+                                     rng);
+        }()),
+        objective(app, datacenter, config) {
+    util::Rng rng(7);
+    sim::apply_sim_preload(occupancy, rng);
+  }
+};
+
+MicroFixture& fixture() {
+  static MicroFixture f;
+  return f;
+}
+
+void BM_CanPlace(benchmark::State& state) {
+  auto& f = fixture();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  partial.place(10, 1);
+  dc::HostId host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partial.can_place(11, host));
+    host = (host + 1) % static_cast<dc::HostId>(f.datacenter.host_count());
+  }
+}
+BENCHMARK(BM_CanPlace);
+
+void BM_GetCandidates(benchmark::State& state) {
+  auto& f = fixture();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::get_candidates(partial, 10));
+  }
+}
+BENCHMARK(BM_GetCandidates);
+
+void BM_CandidateEstimate(benchmark::State& state) {
+  auto& f = fixture();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  partial.place(10, 1);
+  const double rest = core::Estimator::rest_bound(partial, 11);
+  dc::HostId host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::Estimator::candidate_estimate(partial, 11, host, rest));
+    host = (host + 1) % static_cast<dc::HostId>(f.datacenter.host_count());
+  }
+}
+BENCHMARK(BM_CandidateEstimate);
+
+void BM_ImaginaryCompletion(benchmark::State& state) {
+  auto& f = fixture();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  partial.place(10, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Estimator::imaginary_completion(partial));
+  }
+}
+BENCHMARK(BM_ImaginaryCompletion);
+
+void BM_PlaceAndClone(benchmark::State& state) {
+  auto& f = fixture();
+  core::PartialPlacement base(f.app, f.occupancy, f.objective);
+  for (topo::NodeId v = 0; v < 20; ++v) {
+    base.place(v, static_cast<dc::HostId>(v % 16));
+  }
+  for (auto _ : state) {
+    core::PartialPlacement clone = base;
+    clone.place(20, 17);
+    benchmark::DoNotOptimize(clone.utility_bound());
+  }
+}
+BENCHMARK(BM_PlaceAndClone);
+
+void BM_PathLinks(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<dc::LinkId> links;
+  dc::HostId a = 0;
+  for (auto _ : state) {
+    links.clear();
+    f.datacenter.path_links(a, 300, links);
+    benchmark::DoNotOptimize(links.data());
+    a = (a + 7) % 300;
+  }
+}
+BENCHMARK(BM_PathLinks);
+
+void BM_EgSmall(benchmark::State& state) {
+  auto& f = fixture();
+  const auto order = core::eg_sort_order(f.app);
+  for (auto _ : state) {
+    core::GreedyOutcome outcome = core::run_greedy(
+        core::Algorithm::kEg,
+        core::PartialPlacement(f.app, f.occupancy, f.objective), order,
+        nullptr);
+    benchmark::DoNotOptimize(outcome.feasible);
+  }
+}
+BENCHMARK(BM_EgSmall)->Unit(benchmark::kMillisecond);
+
+void BM_MaxMinFair(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<net::Flow> flows;
+  util::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    flows.push_back({static_cast<dc::HostId>(rng.next_below(320)),
+                     static_cast<dc::HostId>(rng.next_below(320)), 500.0});
+  }
+  for (auto& flow : flows) {
+    if (flow.src == flow.dst) flow.dst = (flow.dst + 1) % 320;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_fair_rates(f.datacenter, flows));
+  }
+}
+BENCHMARK(BM_MaxMinFair);
+
+void BM_VerifySignatureDetect(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_symmetry_groups(f.app));
+  }
+}
+BENCHMARK(BM_VerifySignatureDetect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

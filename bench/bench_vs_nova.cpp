@@ -1,0 +1,105 @@
+// The abstract's headline comparison: Ostro's holistic placement vs the
+// stock OpenStack path where Nova and Cinder handle every VM and volume
+// request independently ("naive approaches").  Both paths deploy the same
+// QoS-enhanced Heat template of the QFS application through the simulated
+// control plane (src/openstack); the naive path uses the default
+// filter/weigher schedulers, the Ostro path the Figure-1 wrapper.
+#include "common.h"
+
+#include "openstack/ostro_wrapper.h"
+
+namespace {
+
+std::string qfs_template() {
+  using ostro::util::format;
+  std::string resources;
+  const auto add = [&](const std::string& entry) {
+    if (!resources.empty()) resources += ",\n";
+    resources += entry;
+  };
+  add(R"("meta": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.small"}})");
+  add(R"("client": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.large"}})");
+  std::string members;
+  for (int i = 0; i < 12; ++i) {
+    add(format(R"("chunk%d": {"type": "OS::Nova::Server",
+        "properties": {"flavor": "m1.small"}})", i));
+    add(format(R"("chunk%d-vol": {"type": "OS::Cinder::Volume",
+        "properties": {"size_gb": 120}})", i));
+    add(format(R"("pipe-cv%d": {"type": "ATT::QoS::Pipe",
+        "properties": {"from": "chunk%d", "to": "chunk%d-vol",
+                       "bandwidth_mbps": 100}})", i, i, i));
+    add(format(R"("pipe-cc%d": {"type": "ATT::QoS::Pipe",
+        "properties": {"from": "client", "to": "chunk%d",
+                       "bandwidth_mbps": 100}})", i, i));
+    if (!members.empty()) members += ", ";
+    members += format(R"("chunk%d-vol")", i);
+  }
+  add(R"("pipe-cm": {"type": "ATT::QoS::Pipe",
+      "properties": {"from": "client", "to": "meta", "bandwidth_mbps": 10}})");
+  add(format(R"("dz-vols": {"type": "ATT::Valet::DiversityZone",
+      "properties": {"level": "host", "members": [%s]}})", members.c_str()));
+  return "{\n\"description\": \"QFS\",\n\"resources\": {\n" + resources +
+         "\n}\n}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ostro;
+  util::ArgParser args("bench_vs_nova",
+                       "Ostro vs independent Nova/Cinder scheduling");
+  bench::add_common_flags(args);
+  args.add_int("stacks", 3, "QFS stacks deployed back to back");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto datacenter = sim::make_testbed();
+  const std::string text = qfs_template();
+
+  util::TablePrinter table({"Path", "Stack", "Deployed",
+                            "Reserved bandwidth (Mbps)", "New active hosts"});
+
+  // Naive path: Heat drives Nova/Cinder with no placement hints.
+  {
+    dc::Occupancy occupancy(datacenter);
+    os::HeatEngine engine(occupancy);
+    for (int i = 0; i < args.get_int("stacks"); ++i) {
+      const os::StackDeployment deployment = engine.deploy_text(text);
+      table.add_row({"Nova/Cinder", std::to_string(i + 1),
+                     deployment.success ? "yes" : "NO",
+                     util::TablePrinter::cell(
+                         deployment.reserved_bandwidth_mbps, 0),
+                     std::to_string(deployment.new_active_hosts)});
+      if (!deployment.success) {
+        std::cerr << "naive stack " << i + 1
+                  << " failed: " << deployment.failure << "\n";
+      }
+    }
+  }
+
+  // Ostro path: the Figure-1 wrapper annotates the template first.
+  {
+    core::SearchConfig config;
+    config.theta_bw = 0.99;
+    config.theta_c = 0.01;
+    core::OstroScheduler scheduler(datacenter, config);
+    os::HeatEngine engine(scheduler.occupancy());
+    os::OstroHeatWrapper wrapper(scheduler, engine);
+    for (int i = 0; i < args.get_int("stacks"); ++i) {
+      const os::WrapperResult result =
+          wrapper.process_text(text, core::Algorithm::kEg);
+      table.add_row({"Ostro", std::to_string(i + 1),
+                     result.deployment.success ? "yes" : "NO",
+                     util::TablePrinter::cell(
+                         result.deployment.reserved_bandwidth_mbps, 0),
+                     std::to_string(result.deployment.new_active_hosts)});
+      if (!result.deployment.success) {
+        std::cerr << "ostro stack " << i + 1
+                  << " failed: " << result.deployment.failure << "\n";
+      }
+    }
+  }
+  bench::emit(table, args,
+              "Holistic (Ostro) vs per-request (Nova/Cinder) deployment of "
+              "QFS stacks on the testbed");
+  return 0;
+}

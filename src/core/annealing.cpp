@@ -1,0 +1,142 @@
+#include "core/annealing.h"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/partial.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ostro::core {
+namespace {
+
+/// Rebuilds a PartialPlacement for a full assignment, re-checking every
+/// constraint; nullopt when any node no longer fits.
+[[nodiscard]] std::optional<PartialPlacement> materialize(
+    const topo::AppTopology& topology, const dc::Occupancy& base,
+    const Objective& objective, const net::Assignment& assignment) {
+  PartialPlacement state(topology, base, objective);
+  for (topo::NodeId v = 0; v < assignment.size(); ++v) {
+    if (!state.can_place(v, assignment[v])) return std::nullopt;
+    state.place(v, assignment[v]);
+  }
+  return state;
+}
+
+}  // namespace
+
+void AnnealingConfig::validate() const {
+  if (deadline_seconds <= 0.0) {
+    throw std::invalid_argument("AnnealingConfig: deadline must be positive");
+  }
+  if (initial_temperature <= 0.0) {
+    throw std::invalid_argument(
+        "AnnealingConfig: temperature must be positive");
+  }
+  if (cooling <= 0.0 || cooling >= 1.0) {
+    throw std::invalid_argument("AnnealingConfig: cooling must be in (0,1)");
+  }
+  if (moves_per_temperature <= 0) {
+    throw std::invalid_argument(
+        "AnnealingConfig: moves_per_temperature must be positive");
+  }
+}
+
+Placement simulated_annealing(const dc::Occupancy& base,
+                              const topo::AppTopology& topology,
+                              const SearchConfig& config,
+                              const AnnealingConfig& annealing) {
+  config.validate();
+  annealing.validate();
+  const util::WallTimer timer;
+  const util::Deadline deadline(annealing.deadline_seconds);
+  util::Rng rng(annealing.seed);
+  const Objective objective(topology, base.datacenter(), config);
+
+  Placement result;
+
+  // Seed: EG's placement, or a random feasible completion if EG dead-ends.
+  net::Assignment current;
+  {
+    GreedyOutcome eg = run_greedy(Algorithm::kEg,
+                                  PartialPlacement(topology, base, objective),
+                                  eg_sort_order(topology), nullptr);
+    if (eg.feasible) {
+      current = eg.state.assignment();
+    } else {
+      PartialPlacement state(topology, base, objective);
+      for (topo::NodeId v = 0; v < topology.node_count(); ++v) {
+        const auto candidates = get_candidates(state, v);
+        if (candidates.empty()) {
+          result.failure_reason =
+              "annealing: no feasible seed assignment (node " +
+              topology.node(v).name + ")";
+          result.stats.runtime_seconds = timer.elapsed_seconds();
+          return result;
+        }
+        state.place(v, candidates[static_cast<std::size_t>(
+                           rng.next_below(candidates.size()))]);
+      }
+      current = state.assignment();
+    }
+  }
+
+  auto current_state = materialize(topology, base, objective, current);
+  double current_utility = current_state->utility_committed();
+  net::Assignment best = current;
+  double best_utility = current_utility;
+
+  double temperature = annealing.initial_temperature;
+  const auto host_count =
+      static_cast<dc::HostId>(base.datacenter().host_count());
+  std::uint64_t moves = 0;
+  std::uint64_t accepted = 0;
+
+  while (!deadline.expired()) {
+    for (int i = 0;
+         i < annealing.moves_per_temperature && !deadline.expired(); ++i) {
+      ++moves;
+      // Move: re-home one random node onto a random host.
+      net::Assignment proposal = current;
+      const auto node = static_cast<topo::NodeId>(
+          rng.next_below(topology.node_count()));
+      proposal[node] = static_cast<dc::HostId>(rng.next_below(host_count));
+      if (proposal[node] == current[node]) continue;
+
+      const auto state = materialize(topology, base, objective, proposal);
+      if (!state) continue;  // infeasible move
+      const double utility = state->utility_committed();
+      const double delta = utility - current_utility;
+      if (delta <= 0.0 ||
+          rng.uniform01() < std::exp(-delta / temperature)) {
+        current = std::move(proposal);
+        current_utility = utility;
+        ++accepted;
+        if (utility < best_utility) {
+          best_utility = utility;
+          best = current;
+        }
+      }
+    }
+    temperature *= annealing.cooling;
+    if (temperature < 1e-9) temperature = annealing.initial_temperature / 10;
+  }
+
+  const auto final_state = materialize(topology, base, objective, best);
+  result.feasible = true;
+  result.assignment = best;
+  result.utility = best_utility;
+  result.reserved_bandwidth_mbps = final_state->ubw();
+  result.new_active_hosts = final_state->new_active_hosts();
+  result.hosts_used = static_cast<int>(final_state->used_hosts().size());
+  result.stats.paths_expanded = accepted;
+  result.stats.paths_generated = moves;
+  result.stats.runtime_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,46 @@
+// Simulated-annealing placement baseline.
+//
+// The paper's related work (Section V) notes that evolutionary approaches —
+// simulated annealing, genetic algorithms, particle swarms — can solve this
+// class of placement problem but make it "non-trivial to guarantee an
+// optimal solution in a tight time bound".  This module implements the
+// strongest such baseline (simulated annealing over full assignments,
+// seeded with EG's placement) so the claim can be measured:
+// bench_vs_annealing runs SA and DBA* under identical wall-clock budgets.
+//
+// Moves pick a random node and a random feasible host; the whole candidate
+// assignment is revalidated through the same constraint engine the search
+// algorithms use, so SA competes on exactly the same problem.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "datacenter/occupancy.h"
+
+namespace ostro::core {
+
+struct AnnealingConfig {
+  /// Wall-clock budget (seconds); the best feasible assignment seen is
+  /// returned when it expires.
+  double deadline_seconds = 1.0;
+  /// Initial temperature on the (normalized, in [0,1]) utility scale.
+  double initial_temperature = 0.05;
+  /// Multiplicative cooling applied every `moves_per_temperature` moves.
+  double cooling = 0.98;
+  int moves_per_temperature = 64;
+  std::uint64_t seed = 42;
+
+  void validate() const;  ///< throws std::invalid_argument on bad values
+};
+
+/// Runs simulated annealing for `annealing.deadline_seconds`, seeded with
+/// EG's placement (random feasible completion when EG fails).  Objective
+/// weights come from `config`.  Returns an infeasible Placement when no
+/// feasible assignment was found at all.
+[[nodiscard]] Placement simulated_annealing(const dc::Occupancy& base,
+                                            const topo::AppTopology& topology,
+                                            const SearchConfig& config,
+                                            const AnnealingConfig& annealing);
+
+}  // namespace ostro::core

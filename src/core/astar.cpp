@@ -1,0 +1,551 @@
+#include "core/astar.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/candidates.h"
+#include "core/estimator.h"
+#include "core/greedy.h"
+#include "core/symmetry.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ostro::core {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+[[nodiscard]] dc::Scope forced_scope(topo::DiversityLevel level) noexcept {
+  switch (level) {
+    case topo::DiversityLevel::kHost: return dc::Scope::kSameRack;
+    case topo::DiversityLevel::kRack: return dc::Scope::kSamePod;
+    case topo::DiversityLevel::kPod: return dc::Scope::kSameSite;
+    case topo::DiversityLevel::kDatacenter: return dc::Scope::kCrossSite;
+  }
+  return dc::Scope::kSameRack;
+}
+
+/// A search path.  Children are *lazy*: they hold their parent's
+/// materialized state plus the one (node -> host) decision and a cheap
+/// admissible priority; the actual PartialPlacement is built only if the
+/// path is popped.  This makes generating a child O(degree) instead of
+/// O(|V| + place), which is what lets the search expand thousands of paths
+/// per second against a 2400-host data center.
+struct PathEntry {
+  std::shared_ptr<const PartialPlacement> parent;  // materialized ancestor
+  topo::NodeId node = topo::kInvalidNode;  // decision on top of parent
+  dc::HostId host = dc::kInvalidHost;
+  double priority = 0.0;  // ordering key (see sharp_ordering in run_astar)
+  bool exact = false;     // priority was computed on the materialized state
+  std::uint32_t depth = 0;
+  std::uint64_t sequence = 0;  // insertion order; deterministic tie-break
+};
+
+/// BA* pops the least-priority path (best-first on the admissible bound,
+/// Algorithm 2).  DBA* pops the deepest path first and breaks depth ties by
+/// priority: a best-child-first depth-first search with backtracking.  This
+/// is the concrete form of the paper's "the search is biased to be depth
+/// first" — it guarantees the search keeps completing placements (one dive
+/// is at most |V| pops), which is what makes DBA* an anytime algorithm
+/// whose result improves with T.
+struct PathOrder {
+  bool depth_first = false;
+
+  bool operator()(const PathEntry& a, const PathEntry& b) const noexcept {
+    if (depth_first && a.depth != b.depth) {
+      return a.depth < b.depth;  // max-heap on depth
+    }
+    if (a.priority != b.priority) return a.priority > b.priority;  // min-heap
+    if (a.depth != b.depth) return a.depth < b.depth;  // deeper first
+    return a.sequence > b.sequence;
+  }
+};
+
+/// Admissible lower bound on the utility of completing `parent` with
+/// `node` placed on `host`, computed without cloning the parent:
+///   - pipes to placed neighbors get their actual cost;
+///   - pipes to free neighbors get the separation that placing node@host
+///     already forces (zones, pairwise zone with the node, residual);
+///   - all other open pipes keep their parent bound.
+/// Ignoring the zone-mate bound refreshes place() would do only loosens the
+/// bound, so the estimate never exceeds the materialized value.
+struct ChildScore {
+  double ubw = 0.0;        ///< committed link-weighted bandwidth after the move
+  double bound_rem = 0.0;  ///< admissible bound on the remaining pipes
+  double uc = 0.0;         ///< newly-active hosts after the move
+};
+
+[[nodiscard]] ChildScore child_priority(const PartialPlacement& parent,
+                                        topo::NodeId node, dc::HostId host) {
+  const topo::AppTopology& topology = parent.topology();
+  const dc::DataCenter& datacenter = parent.datacenter();
+  double ubw = parent.ubw();
+  double bound = parent.remaining_bw_bound();
+  const topo::Resources residual =
+      parent.available(host) - topology.node(node).requirements;
+  for (const auto& nb : topology.neighbors(node)) {
+    bound -= parent.edge_bound(nb.edge_index);
+    const dc::HostId other = parent.host_of(nb.node);
+    if (other != dc::kInvalidHost) {
+      ubw += Objective::edge_cost(nb.bandwidth_mbps,
+                                  datacenter.scope_between(host, other));
+      continue;
+    }
+    dc::Scope scope = parent.zone_scope_to_host(nb.node, host);
+    if (const auto level = topology.required_separation(node, nb.node)) {
+      scope = std::max(scope, forced_scope(*level));
+    }
+    if (scope == dc::Scope::kSameHost &&
+        !topology.node(nb.node).requirements.fits_within(residual)) {
+      scope = dc::Scope::kSameRack;
+    }
+    bound += Objective::edge_cost(nb.bandwidth_mbps, scope);
+  }
+  ChildScore score;
+  score.ubw = ubw;
+  score.bound_rem = std::max(0.0, bound);
+  score.uc = parent.new_active_hosts() +
+             (parent.is_active(host) ? 0.0 : 1.0);
+  return score;
+}
+
+/// Canonical signature of a partial assignment: hosts of interchangeable
+/// nodes are sorted within their symmetry group, so permuted duplicates
+/// collide (the closed-queue check of Algorithm 2, line 10).
+[[nodiscard]] std::uint64_t canonical_signature(const PartialPlacement& state,
+                                                const SymmetryGroups& groups) {
+  const auto& assignment = state.assignment();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  keys.reserve(state.placed_count());
+  for (topo::NodeId v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] == dc::kInvalidHost) continue;
+    keys.emplace_back(groups.group_of[v], assignment[v]);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 0x243f6a8885a308d3ULL ^ keys.size();
+  for (const auto& [group, host] : keys) {
+    std::uint64_t word = (group << 32) ^ host;
+    h ^= util::splitmix64(word) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Drops candidate hosts that are *placement-equivalent* to an earlier one:
+/// identical available resources, identical available bandwidth on every
+/// uplink of their hierarchy path, identical active flag, and an identical
+/// hierarchy relation (scope) to every host the partial placement already
+/// uses.  Two equivalent hosts generate isomorphic search subtrees — every
+/// constraint check and cost term depends only on those quantities — so
+/// expanding one per equivalence class preserves optimality while cutting
+/// the branching factor from |H| to the number of distinct host
+/// configurations (dozens instead of thousands in a 2400-host fleet).
+void dedupe_equivalent_hosts(const PartialPlacement& state,
+                             std::vector<dc::HostId>& candidates) {
+  const dc::DataCenter& datacenter = state.datacenter();
+  const auto& used = state.used_hosts();
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<dc::HostId> kept;
+  kept.reserve(candidates.size());
+  const auto mix = [](std::uint64_t& h, std::uint64_t v) {
+    h ^= util::splitmix64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mix_double = [&mix](std::uint64_t& h, double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(h, bits);
+  };
+  for (const dc::HostId host : candidates) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    const topo::Resources avail = state.available(host);
+    mix_double(h, avail.vcpus);
+    mix_double(h, avail.mem_gb);
+    mix_double(h, avail.disk_gb);
+    mix_double(h, state.link_available(datacenter.host_link(host)));
+    const dc::Host& meta = datacenter.host(host);
+    mix_double(h, state.link_available(datacenter.rack_link(meta.rack)));
+    mix_double(h, state.link_available(datacenter.pod_link(meta.pod)));
+    mix_double(h,
+               state.link_available(datacenter.site_link(meta.datacenter)));
+    mix(h, state.is_active(host) ? 1 : 0);
+    for (const auto& tag : meta.tags) {
+      std::uint64_t th = 1469598103934665603ULL;
+      for (const char c : tag) {
+        th ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        th *= 1099511628211ULL;
+      }
+      mix(h, th);
+    }
+    for (const dc::HostId u : used) {
+      mix(h, static_cast<std::uint64_t>(datacenter.scope_between(host, u)));
+    }
+    if (seen.insert(h).second) kept.push_back(host);
+  }
+  candidates = std::move(kept);
+}
+
+/// Probability that a popped path at progress s is pruned: P(x > s) for
+/// x ~ U[0, r); 0 when r == 0 (pruning disabled until pressure builds).
+[[nodiscard]] double prune_probability(double r, double s) noexcept {
+  if (r <= 0.0 || s >= r) return 0.0;
+  return (r - s) / r;
+}
+
+/// Incumbent: the best complete placement known so far.
+struct Incumbent {
+  std::optional<PartialPlacement> state;
+  double utility = std::numeric_limits<double>::infinity();
+
+  void offer(PartialPlacement candidate) {
+    const double u = candidate.utility_committed();
+    if (u < utility) {
+      utility = u;
+      state = std::move(candidate);
+    }
+  }
+};
+
+}  // namespace
+
+AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
+                       bool deadline_bounded, util::ThreadPool* pool) {
+  util::WallTimer timer;
+  const topo::AppTopology& topology = initial.topology();
+
+  AStarOutcome outcome(initial);
+  SearchStats& stats = outcome.stats;
+
+  // Expansion order: the free (not pre-placed/pinned) nodes in EG's sort
+  // order.  BA* does not *require* sorting (Section III-B-1) — any fixed
+  // order preserves optimality — but expanding heavy nodes first lets the
+  // bound grow early and makes DBA*'s dives coincide with EG's decision
+  // sequence, so its very first completed dive already matches the greedy
+  // incumbent and every later dive explores a deviation from it.
+  const std::vector<topo::NodeId> greedy_order = eg_sort_order(topology);
+  std::vector<topo::NodeId> order;
+  for (const topo::NodeId v : greedy_order) {
+    if (!initial.is_placed(v)) order.push_back(v);
+  }
+
+  // Symmetry reduction (Section III-B-3): ordering constraint between
+  // interchangeable free nodes.  prev_in_group[i] = index into `order` of
+  // the previous free node in the same group, or -1.
+  SymmetryGroups groups = detect_symmetry_groups(topology);
+  std::vector<std::int64_t> prev_in_group(order.size(), -1);
+  if (config.symmetry_reduction) {
+    std::unordered_map<std::uint32_t, std::size_t> last_of_group;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto g = groups.group_of[order[i]];
+      const auto it = last_of_group.find(g);
+      if (it != last_of_group.end()) {
+        prev_in_group[i] = static_cast<std::int64_t>(it->second);
+      }
+      last_of_group[g] = i;
+    }
+  }
+
+  // The deadline covers the initial EG run too — the paper's usable lower
+  // bound for T is two times EG's running time (Section III-C).
+  const util::Deadline deadline(deadline_bounded ? config.deadline_seconds
+                                                 : 0.0);
+
+  // RunEG (Algorithm 2, lines 3 and 17): greedy completion as upper bound.
+  Incumbent incumbent;
+  double last_eg_seconds = 0.0;
+  const auto run_eg = [&](const PartialPlacement& from) {
+    const util::WallTimer eg_timer;
+    ++stats.eg_reruns;
+    GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool);
+    if (eg.feasible) incumbent.offer(std::move(eg.state));
+    last_eg_seconds = eg_timer.elapsed_seconds();
+  };
+  run_eg(initial);
+  // Re-bounding cadence: a full EG completion costs seconds at paper scale,
+  // so it is re-run only when the search has advanced a meaningful stride
+  // deeper ("u_upper decreases over time since the remaining V_p gets
+  // smaller", Section III-B-2) and only when the deadline can afford it.
+  const std::uint32_t eg_stride = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, order.size() / 10));
+  std::uint32_t last_eg_depth = 0;
+
+  // Ordering regime.  BA* orders strictly by the admissible bound, which
+  // makes the first completed pop provably optimal (Algorithm 2 lines 6-7).
+  // DBA* gives up optimality anyway, so it orders by the *sharper* (not
+  // necessarily admissible) imaginary-host estimate of Section III-A-2:
+  // with the weak bound a best-first search degenerates into breadth-first
+  // near the root, while the sharp estimate makes shallow and deep paths
+  // comparable and biases the search into productive dives.  Pruning and
+  // incumbent comparisons always use the admissible bound, so no path that
+  // could beat the incumbent is ever discarded by the estimate.
+  const bool sharp_ordering =
+      deadline_bounded || config.greedy_estimate_in_astar;
+
+  std::priority_queue<PathEntry, std::vector<PathEntry>, PathOrder> open(
+      PathOrder{sharp_ordering});
+  std::unordered_set<std::uint64_t> closed;
+  std::uint64_t sequence = 0;
+  open.push({nullptr, topo::kInvalidNode, dc::kInvalidHost,
+             initial.utility_bound(), !sharp_ordering, 0, sequence++});
+  ++stats.paths_generated;
+
+  // DBA* machinery.
+  util::Rng rng(config.seed);
+  double prune_range = deadline_bounded ? config.initial_prune_range : 0.0;
+  std::vector<double> open_by_depth(order.size() + 1, 0.0);
+  open_by_depth[0] = 1.0;
+  double avg_pop_seconds = 1e-4;   // refined from the measured pop rate
+  double avg_branching = 2.0;      // |P̄| of Section III-C
+  double eg_total_seconds = 0.0;
+  std::uint64_t pops_total = 0;
+  double next_check_elapsed =
+      deadline.is_unlimited() ? std::numeric_limits<double>::infinity()
+                              : deadline.budget_seconds() / 2.0;
+
+  const auto finish = [&](bool feasible, std::string why) {
+    outcome.feasible = feasible;
+    outcome.failure = std::move(why);
+    if (incumbent.state) outcome.state = std::move(*incumbent.state);
+    stats.runtime_seconds = timer.elapsed_seconds();
+    return outcome;
+  };
+
+  std::uint32_t max_depth_seen = 0;
+
+  while (!open.empty()) {
+    if (deadline_bounded && deadline.expired()) {
+      return finish(incumbent.state.has_value(),
+                    incumbent.state ? "" : "deadline expired with no solution");
+    }
+
+    PathEntry entry = open.top();
+    open.pop();
+    ++pops_total;
+
+    // Algorithm 2 line 6: the least-u path cannot beat the incumbent.
+    // Sound only when the queue is ordered by the admissible bound.
+    if (!sharp_ordering && entry.priority >= incumbent.utility - kEps) {
+      return finish(incumbent.state.has_value(),
+                    incumbent.state ? "" : "search exhausted; infeasible");
+    }
+
+    // Materialize the state: clone parent + apply the decision, unless this
+    // is the root or a re-queued already-materialized entry.
+    std::shared_ptr<const PartialPlacement> state;
+    if (entry.parent == nullptr) {
+      state = std::make_shared<PartialPlacement>(initial);
+    } else if (entry.node == topo::kInvalidNode) {
+      state = entry.parent;  // re-queued exact entry: state IS the parent
+    } else {
+      auto materialized = std::make_shared<PartialPlacement>(*entry.parent);
+      materialized->place(entry.node, entry.host);
+      state = std::move(materialized);
+    }
+
+    // Pop-time bound check (line 11 semantics, applied lazily): discard a
+    // materialized path that can no longer beat the incumbent.
+    const double exact_bound = state->utility_bound();
+    if (exact_bound >= incumbent.utility - kEps) {
+      ++stats.paths_pruned_bound;
+      open_by_depth[entry.depth] -= 1.0;
+      continue;
+    }
+
+    // Lazy priorities may under-estimate.  Under admissible ordering the
+    // best-first order must stay truthful, so the entry is re-queued with
+    // the exact value when it moved; under sharp ordering the priorities
+    // are heuristic anyway and a re-queue would put every child on a
+    // materialize-punish-bury treadmill (the pop-time estimate does not
+    // shrink the way the generation-time proxy assumed), so the path is
+    // simply expanded with the priority it was popped at.
+    if (!sharp_ordering && !entry.exact) {
+      const double exact = exact_bound;
+      if (exact > entry.priority + kEps) {
+        entry.priority = exact;
+        entry.exact = true;
+        // Keep the materialized state: a later pop reuses it directly.
+        entry.parent = state;
+        entry.node = topo::kInvalidNode;
+        entry.host = dc::kInvalidHost;
+        open.push(entry);
+        continue;
+      }
+    }
+    open_by_depth[entry.depth] -= 1.0;
+
+    // Algorithm 2 line 7: a complete path with least u is the answer under
+    // admissible ordering; under sharp ordering it is a new incumbent and
+    // the search continues until the deadline or the queue drains.
+    if (state->complete()) {
+      incumbent.offer(*state);
+      if (!sharp_ordering) return finish(true, "");
+      continue;
+    }
+
+    // Closed-queue dedup (line 10, via canonical signatures).
+    const std::uint64_t signature = canonical_signature(*state, groups);
+    if (!closed.insert(signature).second) {
+      ++stats.paths_deduped;
+      continue;
+    }
+
+    // Re-bound with EG (lines 15-18; u_upper tightens as the remaining node
+    // set shrinks).  This is where most of DBA*'s quality comes from: a raw
+    // search path rarely survives the probabilistic pruning all the way to
+    // depth |V|, so the solutions the search actually returns are greedy
+    // completions of the diverse prefixes it explored — "the search can be
+    // safely finished with u_upper".  DBA* therefore spends up to half of
+    // its elapsed time running EG completions from popped states; BA* (and
+    // deadline-less DBA*, which must stay deterministic) re-bounds only
+    // when the search reaches a new depth.
+    bool want_eg = false;
+    if (entry.depth > max_depth_seen) {
+      max_depth_seen = entry.depth;
+      stats.max_depth = max_depth_seen;
+      want_eg = entry.depth - last_eg_depth >= eg_stride;
+    }
+    if (want_eg) {
+      const bool affordable =
+          !deadline_bounded ||
+          deadline.remaining_seconds() > 1.5 * last_eg_seconds;
+      if (affordable) {
+        last_eg_depth = std::max(last_eg_depth, entry.depth);
+        run_eg(*state);
+        eg_total_seconds += last_eg_seconds;
+      }
+    }
+
+    // Branch: all candidate hosts for the next free node (line 8).
+    const topo::NodeId node = order[entry.depth];
+    std::vector<dc::HostId> candidates = get_candidates(*state, node);
+    if (config.symmetry_reduction && prev_in_group[entry.depth] >= 0) {
+      const topo::NodeId prev =
+          order[static_cast<std::size_t>(prev_in_group[entry.depth])];
+      const dc::HostId floor_host = state->host_of(prev);
+      std::erase_if(candidates,
+                    [floor_host](dc::HostId h) { return h < floor_host; });
+    }
+    dedupe_equivalent_hosts(*state, candidates);
+
+    ++stats.paths_expanded;
+    std::uint64_t inserted = 0;
+    const std::shared_ptr<const PartialPlacement> parent = state;
+    struct Child {
+      double order;
+      dc::HostId host;
+      bool operator<(const Child& o) const noexcept {
+        return order < o.order || (order == o.order && host < o.host);
+      }
+    };
+    std::vector<Child> children;
+    children.reserve(candidates.size());
+    // DBA* ranks siblings with EG's candidate estimate (GetHeuristic of
+    // Algorithm 1): the dive's first choice at every level is then exactly
+    // the host EG would pick, and backtracking alternatives are the
+    // next-best estimates.  BA* orders by the admissible bound.
+    const double rest_bound =
+        sharp_ordering ? Estimator::rest_bound(*parent, node) : 0.0;
+    for (const dc::HostId host : candidates) {
+      const ChildScore score = child_priority(*parent, node, host);
+      const double bound_utility =
+          parent->objective().utility(score.ubw + score.bound_rem, score.uc);
+      if (bound_utility >= incumbent.utility - kEps) {  // line 11 bounding
+        ++stats.paths_pruned_bound;
+        continue;
+      }
+      double order_utility = bound_utility;
+      if (sharp_ordering) {
+        const Estimate est =
+            Estimator::candidate_estimate(*parent, node, host, rest_bound);
+        order_utility = parent->objective().utility(
+            parent->ubw() + est.ubw, parent->new_active_hosts() + est.uc);
+      }
+      // DBA* probabilistic pruning (Section III-C): "these new paths are
+      // pruned at the rate p(x > s) as well before being inserted into
+      // OQ".  Applied to the full candidate fan before the beam, so the
+      // wide fan replenishes the shallow frontier faster than the pruning
+      // kills it — with per-pop pruning on top, no lineage could ever
+      // survive to depth |V|.
+      if (deadline_bounded) {
+        const double s = static_cast<double>(entry.depth + 1) /
+                         static_cast<double>(order.size());
+        if (rng.chance(prune_probability(prune_range, s))) {
+          ++stats.paths_pruned_random;
+          continue;
+        }
+      }
+      children.push_back({order_utility, host});
+    }
+    // DBA* children beam (see SearchConfig::dba_beam_width): keep only the
+    // most promising children; BA* keeps all of them for optimality.
+    if (sharp_ordering && config.dba_beam_width > 0 &&
+        children.size() > config.dba_beam_width) {
+      std::nth_element(
+          children.begin(),
+          children.begin() + static_cast<long>(config.dba_beam_width),
+          children.end());
+      stats.paths_pruned_random +=
+          children.size() - config.dba_beam_width;
+      children.resize(config.dba_beam_width);
+      std::sort(children.begin(), children.end());
+    }
+    for (const auto& child : children) {
+      open.push({parent, node, child.host, child.order, false,
+                 entry.depth + 1, sequence++});
+      open_by_depth[entry.depth + 1] += 1.0;
+      ++stats.paths_generated;
+      ++inserted;
+    }
+    avg_branching = 0.9 * avg_branching + 0.1 * static_cast<double>(inserted);
+    // Average pop cost over every pop so far (pruned pops are far cheaper
+    // than expansions; an expansion-only average overestimates the load by
+    // orders of magnitude and drives the pruning rate into a death spiral).
+    avg_pop_seconds =
+        std::max(1e-7, (timer.elapsed_seconds() - eg_total_seconds) /
+                           static_cast<double>(pops_total));
+
+    if (config.max_open_paths != 0 && open.size() > config.max_open_paths) {
+      stats.truncated = true;
+      return finish(incumbent.state.has_value(),
+                    incumbent.state ? "" : "open-queue limit hit; no solution");
+    }
+
+    // DBA* load estimation at the half-deadline checkpoints.
+    if (deadline_bounded && deadline.elapsed_seconds() >= next_check_elapsed) {
+      const double t_left = deadline.remaining_seconds();
+      if (t_left <= 0.0) {
+        return finish(incumbent.state.has_value(),
+                      incumbent.state ? "" : "deadline expired");
+      }
+      // |P|: paths we can still handle; |P_left|: expected paths to handle,
+      // via the L[i] recurrence of Section III-C.
+      const double can_handle = t_left / std::max(1e-9, avg_pop_seconds);
+      std::vector<double> load = open_by_depth;
+      double expected = 0.0;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const double s =
+            static_cast<double>(i) / static_cast<double>(order.size());
+        const double survive = 1.0 - prune_probability(prune_range, s);
+        expected += load[i] * survive;
+        load[i + 1] += load[i] * survive * survive * avg_branching;
+      }
+      if (expected > can_handle) {
+        prune_range = std::min(
+            config.max_prune_range,
+            prune_range +
+                config.alpha_factor * (deadline.budget_seconds() / t_left));
+      }
+      next_check_elapsed = deadline.elapsed_seconds() + t_left / 2.0;
+    }
+  }
+
+  return finish(incumbent.state.has_value(),
+                incumbent.state ? "" : "no feasible placement exists");
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,53 @@
+#include "core/brute_force.h"
+
+#include <limits>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace ostro::core {
+namespace {
+
+struct Searcher {
+  const std::vector<topo::NodeId>& order;
+  bool use_bound_pruning;
+  BruteForceResult result;
+  double best = std::numeric_limits<double>::infinity();
+
+  void dfs(const PartialPlacement& state, std::size_t depth) {
+    ++result.nodes_visited;
+    if (depth == order.size()) {
+      const double utility = state.utility_committed();
+      if (utility < best) {
+        best = utility;
+        result.feasible = true;
+        result.state = state;
+        result.utility = utility;
+      }
+      return;
+    }
+    if (use_bound_pruning && state.utility_bound() >= best) return;
+    const topo::NodeId node = order[depth];
+    for (const dc::HostId host : get_candidates(state, node)) {
+      PartialPlacement child = state;
+      child.place(node, host);
+      dfs(child, depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+BruteForceResult brute_force_optimal(const PartialPlacement& initial,
+                                     bool use_bound_pruning) {
+  std::vector<topo::NodeId> order;
+  for (topo::NodeId v = 0; v < initial.topology().node_count(); ++v) {
+    if (!initial.is_placed(v)) order.push_back(v);
+  }
+  Searcher searcher{order, use_bound_pruning, BruteForceResult{},
+                    std::numeric_limits<double>::infinity()};
+  searcher.dfs(initial, 0);
+  return std::move(searcher.result);
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,27 @@
+// Exhaustive optimal placement, used as the test oracle for BA* optimality
+// and heuristic admissibility on small instances.  Exponential — intended
+// for |V| and |H| in the single digits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/partial.h"
+
+namespace ostro::core {
+
+struct BruteForceResult {
+  bool feasible = false;
+  std::optional<PartialPlacement> state;  ///< the optimal completion
+  double utility = 0.0;
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Depth-first enumeration of every feasible completion of `initial`,
+/// pruned only by the admissible bound when `use_bound_pruning` (the
+/// default keeps it exact either way; disable to stress admissibility
+/// tests, which compare against the fully unpruned optimum).
+[[nodiscard]] BruteForceResult brute_force_optimal(
+    const PartialPlacement& initial, bool use_bound_pruning = true);
+
+}  // namespace ostro::core

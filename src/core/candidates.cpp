@@ -1,0 +1,20 @@
+#include "core/candidates.h"
+
+namespace ostro::core {
+
+std::vector<dc::HostId> get_candidates(const PartialPlacement& p,
+                                       topo::NodeId node,
+                                       bool check_bandwidth) {
+  std::vector<dc::HostId> out;
+  const auto host_count =
+      static_cast<dc::HostId>(p.datacenter().host_count());
+  for (dc::HostId host = 0; host < host_count; ++host) {
+    const bool ok = check_bandwidth
+                        ? p.can_place(node, host)
+                        : p.can_place_except_bandwidth(node, host);
+    if (ok) out.push_back(host);
+  }
+  return out;
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,18 @@
+// Candidate host generation (the GetCandidates of Algorithm 1): all hosts
+// that satisfy the capacity, diversity-zone and bandwidth constraints of
+// Section II-B-2 for one node given the current partial placement.
+#pragma once
+
+#include <vector>
+
+#include "core/partial.h"
+
+namespace ostro::core {
+
+/// Hosts on which `node` can be placed right now, in ascending host id.
+/// `check_bandwidth = false` gives the EG_C view that ignores pipe
+/// feasibility (Section IV-A's pure bin-packing baseline).
+[[nodiscard]] std::vector<dc::HostId> get_candidates(
+    const PartialPlacement& p, topo::NodeId node, bool check_bandwidth = true);
+
+}  // namespace ostro::core

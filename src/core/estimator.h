@@ -1,0 +1,55 @@
+// Heuristic utility estimates (GetHeuristic of Algorithm 1, Section
+// III-A-2 of the paper).
+//
+// Two estimates are provided:
+//
+//  * candidate_estimate — the per-candidate score EG uses in GetBest.  It
+//    combines (i) the exact cost of the node's pipes to already-placed
+//    neighbors when put on the candidate host, (ii) a residual-aware bound
+//    for its pipes to unplaced neighbors (can they still co-locate with the
+//    node on this host?), (iii) the candidate-independent lower bound of all
+//    other open pipes, and (iv) the host-activation cost.  O(degree) per
+//    candidate, which keeps EG's full scan over thousands of hosts cheap.
+//
+//  * imaginary_completion — the paper's full estimate: remaining nodes are
+//    approximately placed, sorted by bandwidth requirement, onto used hosts
+//    or onto "imaginary hosts" created when capacity / diversity /
+//    connectivity rules demand one (Figure 4).  Imaginary hosts carry the
+//    maximum per-resource host capacity of the data center and do not count
+//    toward u_c.  Sharper than the admissible bound but not guaranteed to
+//    be a lower bound; BA* uses it only when
+//    SearchConfig::greedy_estimate_in_astar is set (ablation).
+#pragma once
+
+#include <span>
+
+#include "core/partial.h"
+
+namespace ostro::core {
+
+/// Estimated additional usage to complete a partial placement.
+struct Estimate {
+  double ubw = 0.0;  ///< additional link-weighted bandwidth (Mbps x links)
+  double uc = 0.0;   ///< additional newly-activated hosts
+};
+
+class Estimator {
+ public:
+  /// Candidate-independent part of EG's score for placing `node` next: the
+  /// lower bound of every open pipe not incident to `node`.
+  [[nodiscard]] static double rest_bound(const PartialPlacement& p,
+                                         topo::NodeId node);
+
+  /// EG's per-candidate estimate (see file comment).  `rest` must be
+  /// rest_bound(p, node).
+  [[nodiscard]] static Estimate candidate_estimate(const PartialPlacement& p,
+                                                   topo::NodeId node,
+                                                   dc::HostId host,
+                                                   double rest);
+
+  /// The paper's imaginary-host completion estimate for the whole remaining
+  /// node set of `p`.
+  [[nodiscard]] static Estimate imaginary_completion(const PartialPlacement& p);
+};
+
+}  // namespace ostro::core

@@ -1,0 +1,24 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+namespace ostro::core {
+
+Objective::Objective(const topo::AppTopology& topology,
+                     const dc::DataCenter& datacenter,
+                     const SearchConfig& config) {
+  config.validate();
+  const double sum = config.theta_bw + config.theta_c;
+  theta_bw_ = config.theta_bw / sum;
+  theta_c_ = config.theta_c / sum;
+
+  const int worst_hops = dc::hop_count(datacenter.max_scope());
+  ubw_worst_ = topology.total_edge_bandwidth() * std::max(1, worst_hops);
+  // An edgeless topology has u_bw == 0 for every placement; any positive
+  // normalizer keeps utility() well defined.
+  if (ubw_worst_ <= 0.0) ubw_worst_ = 1.0;
+
+  uc_worst_ = static_cast<double>(topology.node_count());
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,47 @@
+// The placement objective of Section II-B-1:
+//
+//     min( theta_bw * u_bw / û_bw  +  theta_c * u_c / û_c )
+//
+// u_bw is the bandwidth reserved on physical links (each pipe contributes
+// bandwidth x links-traversed), u_c the number of previously idle hosts the
+// placement activates.  Both are normalized against worst-case placements:
+// û_bw assumes every pipe at the data center's maximal separation, û_c
+// assumes every node activates a fresh host.
+#pragma once
+
+#include "core/types.h"
+#include "datacenter/datacenter.h"
+#include "topology/app_topology.h"
+
+namespace ostro::core {
+
+class Objective {
+ public:
+  /// Normalizers are derived from the concrete topology/data-center pair.
+  Objective(const topo::AppTopology& topology, const dc::DataCenter& datacenter,
+            const SearchConfig& config);
+
+  /// Utility of raw usage numbers; in [0, 1] for any feasible placement.
+  [[nodiscard]] double utility(double ubw_mbps, double new_hosts) const noexcept {
+    return theta_bw_ * ubw_mbps / ubw_worst_ + theta_c_ * new_hosts / uc_worst_;
+  }
+
+  /// Link-weighted bandwidth cost of one pipe placed at `scope`.
+  [[nodiscard]] static double edge_cost(double bandwidth_mbps,
+                                        dc::Scope scope) noexcept {
+    return bandwidth_mbps * dc::hop_count(scope);
+  }
+
+  [[nodiscard]] double theta_bw() const noexcept { return theta_bw_; }
+  [[nodiscard]] double theta_c() const noexcept { return theta_c_; }
+  [[nodiscard]] double ubw_worst() const noexcept { return ubw_worst_; }
+  [[nodiscard]] double uc_worst() const noexcept { return uc_worst_; }
+
+ private:
+  double theta_bw_;
+  double theta_c_;
+  double ubw_worst_;
+  double uc_worst_;
+};
+
+}  // namespace ostro::core

@@ -1,0 +1,86 @@
+#include "core/symmetry.h"
+
+#include <algorithm>
+
+namespace ostro::core {
+namespace {
+
+/// True when swapping a and b is an automorphism of `topology`.
+bool interchangeable(const topo::AppTopology& topology, topo::NodeId a,
+                     topo::NodeId b) {
+  const topo::Node& na = topology.node(a);
+  const topo::Node& nb = topology.node(b);
+  if (na.kind != nb.kind) return false;
+  if (!(na.requirements == nb.requirements)) return false;
+  if (na.required_tags != nb.required_tags) return false;
+
+  // Exactly the same zone and affinity memberships (indices are canonical).
+  const auto za = topology.zones_of(a);
+  const auto zb = topology.zones_of(b);
+  if (!std::equal(za.begin(), za.end(), zb.begin(), zb.end())) return false;
+  const auto ga = topology.affinities_of(a);
+  const auto gb = topology.affinities_of(b);
+  if (!std::equal(ga.begin(), ga.end(), gb.begin(), gb.end())) return false;
+
+  // Identical neighbor sets excluding one another, with equal bandwidths.
+  // (A mutual pipe is symmetric under the swap by construction.)
+  // Pipes compare on (endpoint, bandwidth, latency budget).
+  std::vector<std::tuple<topo::NodeId, double, double>> neighbors_a;
+  std::vector<std::tuple<topo::NodeId, double, double>> neighbors_b;
+  for (const auto& nbr : topology.neighbors(a)) {
+    if (nbr.node != b) {
+      neighbors_a.emplace_back(nbr.node, nbr.bandwidth_mbps,
+                               topology.edges()[nbr.edge_index].max_latency_us);
+    }
+  }
+  for (const auto& nbr : topology.neighbors(b)) {
+    if (nbr.node != a) {
+      neighbors_b.emplace_back(nbr.node, nbr.bandwidth_mbps,
+                               topology.edges()[nbr.edge_index].max_latency_us);
+    }
+  }
+  std::sort(neighbors_a.begin(), neighbors_a.end());
+  std::sort(neighbors_b.begin(), neighbors_b.end());
+  return neighbors_a == neighbors_b;
+}
+
+}  // namespace
+
+SymmetryGroups detect_symmetry_groups(const topo::AppTopology& topology) {
+  const std::size_t n = topology.node_count();
+  SymmetryGroups out;
+  out.group_of.assign(n, 0);
+
+  // Pairwise interchangeability is not transitive (e.g. a pair of adjacent
+  // twins plus a non-adjacent twin of one of them), so a node joins a group
+  // only when it can swap with EVERY current member.  O(|V|^2 * degree),
+  // negligible at the topology sizes the paper evaluates (<= 280 nodes).
+  std::vector<std::vector<topo::NodeId>> members;  // group -> members
+  std::vector<bool> nontrivial;
+  for (topo::NodeId v = 0; v < n; ++v) {
+    bool joined = false;
+    for (std::uint32_t g = 0; g < members.size() && !joined; ++g) {
+      const bool all = std::all_of(
+          members[g].begin(), members[g].end(), [&](topo::NodeId m) {
+            return interchangeable(topology, m, v);
+          });
+      if (all) {
+        out.group_of[v] = g;
+        members[g].push_back(v);
+        nontrivial[g] = true;
+        joined = true;
+      }
+    }
+    if (!joined) {
+      out.group_of[v] = static_cast<std::uint32_t>(members.size());
+      members.push_back({v});
+      nontrivial.push_back(false);
+    }
+  }
+  out.group_count = members.size();
+  out.nontrivial_groups =
+      static_cast<std::size_t>(std::count(nontrivial.begin(), nontrivial.end(), true));
+  return out;
+}
+
+}  // namespace ostro::core

@@ -1,0 +1,38 @@
+// Diversity-zone symmetry reduction (Section III-B-3 of the paper).
+//
+// The paper observes that when the nodes of a diversity zone have the same
+// resource requirements, BA* need not branch separately for each of them:
+// the candidate placements of interchangeable nodes are identical.  We make
+// that observation safe by detecting *provably* interchangeable nodes: two
+// nodes are interchangeable iff swapping them is an automorphism of the
+// application topology, i.e. they have the same kind, identical resource
+// requirements, exactly the same diversity-zone memberships, and identical
+// neighbor sets (excluding one another) with equal pipe bandwidths.
+//
+// The search then breaks the permutation symmetry with an ordering
+// constraint: within a group, nodes (in expansion order) must receive
+// non-decreasing host ids.  Every feasible placement has an equivalent
+// representative satisfying the constraint, so optimality is preserved
+// while the branching factor drops by up to |group|! per group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/app_topology.h"
+
+namespace ostro::core {
+
+/// group_of[node] = symmetry-group index; nodes alone in their group are
+/// not interchangeable with anything.
+struct SymmetryGroups {
+  std::vector<std::uint32_t> group_of;
+  std::size_t group_count = 0;
+  /// Number of groups with >= 2 members (diagnostic).
+  std::size_t nontrivial_groups = 0;
+};
+
+[[nodiscard]] SymmetryGroups detect_symmetry_groups(
+    const topo::AppTopology& topology);
+
+}  // namespace ostro::core

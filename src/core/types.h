@@ -1,0 +1,135 @@
+// Public request/result/configuration types of the Ostro placement core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "net/reservation.h"
+#include "topology/app_topology.h"
+
+namespace ostro::core {
+
+/// The placement algorithms of Sections III-A..III-C plus the two greedy
+/// baselines the evaluation compares against (Section IV-A).
+enum class Algorithm : std::uint8_t {
+  kEg,    ///< estimate-based greedy (Algorithm 1)
+  kEgC,   ///< greedy minimizing host count (bin packing baseline, "EG_C")
+  kEgBw,  ///< greedy minimizing bandwidth only ("EG_BW")
+  kBaStar,   ///< bounded A* (Algorithm 2)
+  kDbaStar,  ///< deadline-bounded A* (Section III-C)
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm) noexcept;
+/// Parses "eg" / "egc" / "egbw" / "ba" / "dba" (case-insensitive); throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] Algorithm parse_algorithm(const std::string& name);
+
+/// Tuning knobs shared by all algorithms.  Defaults mirror the paper's
+/// simulation setup (theta = 0.6/0.4, Section IV-C).
+struct SearchConfig {
+  /// Objective weights; must be non-negative and sum to a positive value
+  /// (they are re-normalized to sum to 1).
+  double theta_bw = 0.6;
+  double theta_c = 0.4;
+
+  /// DBA* wall-clock budget T in seconds.  <= 0 means "no deadline", which
+  /// makes DBA* behave like BA* (no pruning pressure ever builds up).
+  double deadline_seconds = 0.0;
+
+  /// Diversity-zone symmetry reduction (Section III-B-3).  Only applied to
+  /// nodes proven interchangeable by color refinement; see core/symmetry.h.
+  bool symmetry_reduction = true;
+
+  /// Use the paper's greedy imaginary-host estimate as the A* heuristic
+  /// instead of the strictly admissible bound.  The greedy estimate is
+  /// sharper but not guaranteed admissible; kept as an ablation knob
+  /// (bench_ablation_heuristic).
+  bool greedy_estimate_in_astar = false;
+
+  /// Seed for DBA*'s pruning decisions (and nothing else).
+  std::uint64_t seed = 42;
+
+  /// Safety valve for BA*: abort with the incumbent EG solution when the
+  /// open queue would exceed this many paths (0 = unlimited).
+  std::size_t max_open_paths = 2'000'000;
+
+  /// Worker threads for EG's parallel candidate evaluation; 0 = hardware
+  /// concurrency.
+  std::size_t threads = 0;
+
+  /// DBA* children beam: after candidate generation (and host-equivalence
+  /// dedup) only the best this-many children by estimated utility are
+  /// queued.  Bounds the branching factor — a 2400-host fleet otherwise
+  /// produces thousands of near-identical children per expansion, and the
+  /// open queue drowns before any path completes.  Applies to DBA* only;
+  /// BA* keeps every child (it claims optimality).  0 = unlimited.
+  std::size_t dba_beam_width = 32;
+
+  /// DBA* initial pruning-range r and adaptation constant (Section III-C;
+  /// alpha_factor is the paper's 0.2 in alpha = 0.2 * (T / T_left)).
+  /// r starts at 0 (no pruning) and grows only under deadline pressure: a
+  /// positive initial r makes P(x > s) = 1 at the shallow frontier, which
+  /// would discard the root before the search learns anything.
+  double initial_prune_range = 0.0;
+  double alpha_factor = 0.2;
+  /// Upper cap on r.  Pruning with probability (r - s) / r confines path
+  /// mortality to the shallowest r-fraction of the search depth; beyond the
+  /// cap the frontier would die out faster than the candidate fan can
+  /// replenish it and no path could ever complete.
+  double max_prune_range = 0.5;
+
+  void validate() const;  ///< throws std::invalid_argument on bad values
+};
+
+/// A placement request: what to place, with what weights, and (for online
+/// adaptation, Section IV-E) which nodes are pinned to their current hosts.
+struct PlacementRequest {
+  const topo::AppTopology* topology = nullptr;
+  SearchConfig config;
+
+  /// Pinned nodes: pinned[node] = host keeps that node fixed; use
+  /// dc::kInvalidHost (or an empty vector) for free nodes.
+  std::vector<dc::HostId> pinned;
+};
+
+/// Search diagnostics reported alongside the result.
+struct SearchStats {
+  std::uint64_t paths_expanded = 0;  ///< open-queue pops that were expanded
+  std::uint64_t paths_generated = 0;
+  std::uint64_t paths_pruned_bound = 0;   ///< pruned by u >= u_upper
+  std::uint64_t paths_pruned_random = 0;  ///< DBA* probabilistic pruning
+  std::uint64_t paths_deduped = 0;        ///< closed-set / symmetry hits
+  std::uint64_t eg_reruns = 0;            ///< RunEG re-bounding invocations
+  std::uint32_t max_depth = 0;            ///< deepest expanded search path
+  /// BA* only: the open-queue safety valve (max_open_paths) fired and the
+  /// incumbent was returned without an optimality certificate.
+  bool truncated = false;
+  double runtime_seconds = 0.0;
+};
+
+/// Result of one placement computation.
+struct Placement {
+  /// True when every node was placed subject to all constraints.
+  bool feasible = false;
+  std::string failure_reason;
+
+  /// Node -> host (index = NodeId); dc::kInvalidHost when infeasible.
+  net::Assignment assignment;
+
+  /// Objective value in [0, 1] (lower is better) and its raw components.
+  double utility = std::numeric_limits<double>::infinity();
+  double reserved_bandwidth_mbps = 0.0;  ///< u_bw (bw x links traversed)
+  int new_active_hosts = 0;              ///< u_c
+  /// True when the placement exceeds some link's available bandwidth.
+  /// Only EG_C (which ignores pipes by definition) can produce this; such
+  /// a placement must not be committed.
+  bool bandwidth_overcommitted = false;
+  int hosts_used = 0;  ///< distinct hosts holding at least one node
+
+  SearchStats stats;
+};
+
+}  // namespace ostro::core

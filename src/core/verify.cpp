@@ -1,0 +1,123 @@
+#include "core/verify.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace ostro::core {
+
+std::vector<std::string> verify_placement(const dc::Occupancy& base,
+                                          const topo::AppTopology& topology,
+                                          const net::Assignment& assignment) {
+  std::vector<std::string> violations;
+  const dc::DataCenter& datacenter = base.datacenter();
+
+  if (assignment.size() != topology.node_count()) {
+    violations.push_back(util::format(
+        "assignment has %zu entries for %zu nodes", assignment.size(),
+        topology.node_count()));
+    return violations;
+  }
+  for (const auto& node : topology.nodes()) {
+    const dc::HostId host = assignment[node.id];
+    if (host == dc::kInvalidHost || host >= datacenter.host_count()) {
+      violations.push_back("node " + node.name + " is unplaced");
+    }
+  }
+  if (!violations.empty()) return violations;
+
+  // Host capacity: total requirements per host vs available-in-base.
+  std::unordered_map<dc::HostId, topo::Resources> per_host;
+  for (const auto& node : topology.nodes()) {
+    per_host[assignment[node.id]] += node.requirements;
+  }
+  for (const auto& [host, load] : per_host) {
+    const topo::Resources avail = base.available(host);
+    if (!load.fits_within(avail)) {
+      violations.push_back("host " + datacenter.host(host).name +
+                           " over capacity: needs " + load.to_string() +
+                           ", available " + avail.to_string());
+    }
+  }
+
+  // Pipe bandwidth: aggregated per physical link vs available-in-base.
+  std::unordered_map<dc::LinkId, double> per_link;
+  std::vector<dc::LinkId> links;
+  for (const auto& edge : topology.edges()) {
+    links.clear();
+    datacenter.path_links(assignment[edge.a], assignment[edge.b], links);
+    for (const dc::LinkId link : links) {
+      per_link[link] += edge.bandwidth_mbps;
+    }
+  }
+  constexpr double kEps = 1e-6;
+  for (const auto& [link, mbps] : per_link) {
+    const double avail = base.link_available_mbps(link);
+    if (mbps > avail + kEps) {
+      violations.push_back(util::format(
+          "link %s over capacity: needs %.1f Mbps, available %.1f Mbps",
+          datacenter.link_name(link).c_str(), mbps, avail));
+    }
+  }
+
+  // Hardware tags: every node on a host that carries its required tags.
+  for (const auto& node : topology.nodes()) {
+    if (node.required_tags.empty()) continue;
+    const dc::Host& host = datacenter.host(assignment[node.id]);
+    if (!host.has_all_tags(node.required_tags)) {
+      violations.push_back("node " + node.name + " requires tags host " +
+                           host.name + " does not carry");
+    }
+  }
+
+  // Latency budgets: capped pipes within the scope latency.
+  for (const auto& edge : topology.edges()) {
+    if (edge.max_latency_us <= 0.0) continue;
+    const dc::Scope scope =
+        datacenter.scope_between(assignment[edge.a], assignment[edge.b]);
+    if (datacenter.scope_latency_us(scope) > edge.max_latency_us) {
+      violations.push_back(util::format(
+          "pipe %s--%s exceeds its latency budget: %.0f us > %.0f us",
+          topology.node(edge.a).name.c_str(),
+          topology.node(edge.b).name.c_str(),
+          datacenter.scope_latency_us(scope), edge.max_latency_us));
+    }
+  }
+
+  // Affinity groups: pairwise co-location at the declared level.
+  for (const auto& group : topology.affinities()) {
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.members.size(); ++j) {
+        const dc::HostId ha = assignment[group.members[i]];
+        const dc::HostId hb = assignment[group.members[j]];
+        if (datacenter.separated_at(ha, hb, group.level)) {
+          violations.push_back(
+              "affinity " + group.name + ": " +
+              topology.node(group.members[i]).name + " and " +
+              topology.node(group.members[j]).name + " not co-located at " +
+              std::string(topo::to_string(group.level)) + " level");
+        }
+      }
+    }
+  }
+
+  // Diversity zones: pairwise separation at the declared level.
+  for (const auto& zone : topology.zones()) {
+    for (std::size_t i = 0; i < zone.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < zone.members.size(); ++j) {
+        const dc::HostId ha = assignment[zone.members[i]];
+        const dc::HostId hb = assignment[zone.members[j]];
+        if (!datacenter.separated_at(ha, hb, zone.level)) {
+          violations.push_back(
+              "zone " + zone.name + ": " +
+              topology.node(zone.members[i]).name + " and " +
+              topology.node(zone.members[j]).name + " not separated at " +
+              std::string(topo::to_string(zone.level)) + " level");
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace ostro::core

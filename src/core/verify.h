@@ -1,0 +1,26 @@
+// Independent placement verifier.
+//
+// Re-checks every constraint of Section II-B-2 from first principles,
+// sharing no accounting code with PartialPlacement: host capacities are
+// summed per host, pipe bandwidth is aggregated per physical link, and
+// diversity zones are checked pairwise.  The property-based test suite runs
+// every algorithm's output through this verifier; it is also cheap enough
+// for callers to use as a final sanity gate before committing a placement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datacenter/occupancy.h"
+#include "net/reservation.h"
+#include "topology/app_topology.h"
+
+namespace ostro::core {
+
+/// Returns a human-readable description of every violated constraint;
+/// empty means the placement is valid against `base`.
+[[nodiscard]] std::vector<std::string> verify_placement(
+    const dc::Occupancy& base, const topo::AppTopology& topology,
+    const net::Assignment& assignment);
+
+}  // namespace ostro::core

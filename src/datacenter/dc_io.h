@@ -1,0 +1,61 @@
+// Data-center and occupancy (de)serialization.
+//
+// A deployment describes its fleet once as a JSON document and feeds it to
+// the CLI / scheduler; occupancy snapshots round-trip the mutable state so
+// placement sessions can persist across runs.
+//
+//   {
+//     "scope_latencies_us": [5, 25, 80, 200, 2000],       // optional
+//     "sites": [
+//       {"name": "dc-east", "uplink_mbps": 400000,
+//        "pods": [
+//          {"name": "pod-1", "uplink_mbps": 100000,
+//           "racks": [
+//             {"name": "rack-1", "uplink_mbps": 40000,
+//              "hosts": [
+//                {"name": "host-1", "vcpus": 16, "mem_gb": 64,
+//                 "disk_gb": 2000, "uplink_mbps": 10000,
+//                 "tags": ["ssd"]}                          // optional
+//              ]}]}]}]
+//   }
+//
+// Occupancy documents record per-host used resources and per-link reserved
+// bandwidth keyed by the names link_name() produces:
+//
+//   {"hosts": {"host-1": {"vcpus": 4, "mem_gb": 8, "disk_gb": 100,
+//                         "active": true}},
+//    "links": {"host:host-1": 300.0, "tor:rack-1": 300.0}}
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "datacenter/occupancy.h"
+#include "util/json.h"
+
+namespace ostro::dc {
+
+class DcIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a data-center document; throws DcIoError on malformed input.
+[[nodiscard]] DataCenter datacenter_from_json(const util::Json& document);
+[[nodiscard]] DataCenter datacenter_from_text(const std::string& text);
+
+/// Serializes the full structure (capacities, tags, latencies).
+[[nodiscard]] util::Json datacenter_to_json(const DataCenter& datacenter);
+
+/// Serializes the occupancy deltas (only hosts/links with usage).
+[[nodiscard]] util::Json occupancy_to_json(const Occupancy& occupancy);
+
+/// Restores an occupancy over `datacenter`; unknown host/link names or
+/// over-capacity loads throw DcIoError.  `datacenter` must outlive the
+/// result.
+[[nodiscard]] Occupancy occupancy_from_json(const DataCenter& datacenter,
+                                            const util::Json& document);
+[[nodiscard]] Occupancy occupancy_from_text(const DataCenter& datacenter,
+                                            const std::string& text);
+
+}  // namespace ostro::dc

@@ -1,0 +1,132 @@
+#include "datacenter/dot.h"
+
+#include <map>
+
+#include "datacenter/datacenter.h"
+#include "util/string_util.h"
+
+namespace ostro::dc {
+
+using topo::AppTopology;
+using topo::Node;
+using topo::NodeId;
+using topo::NodeKind;
+using topo::to_string;
+namespace {
+
+/// Escapes a string for use inside a DOT double-quoted id/label.
+[[nodiscard]] std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+[[nodiscard]] std::string node_statement(const Node& node) {
+  if (node.kind == NodeKind::kVolume) {
+    return util::format("  \"%s\" [shape=cylinder, label=\"%s\\n%g GB\"];\n",
+                        escape(node.name).c_str(), escape(node.name).c_str(),
+                        node.requirements.disk_gb);
+  }
+  std::string label = util::format("%s\\n%g vCPU / %g GB",
+                                   escape(node.name).c_str(),
+                                   node.requirements.vcpus,
+                                   node.requirements.mem_gb);
+  if (!node.required_tags.empty()) {
+    label += "\\n[";
+    for (std::size_t i = 0; i < node.required_tags.size(); ++i) {
+      if (i != 0) label += ",";
+      label += escape(node.required_tags[i]);
+    }
+    label += "]";
+  }
+  return util::format("  \"%s\" [shape=box, label=\"%s\"];\n",
+                      escape(node.name).c_str(), label.c_str());
+}
+
+void append_edges(const AppTopology& topology, std::string& out) {
+  for (const auto& edge : topology.edges()) {
+    std::string label = util::format("%g Mbps", edge.bandwidth_mbps);
+    if (edge.max_latency_us > 0.0) {
+      label += util::format("\\n<= %g us", edge.max_latency_us);
+    }
+    out += util::format("  \"%s\" -- \"%s\" [label=\"%s\"];\n",
+                        escape(topology.node(edge.a).name).c_str(),
+                        escape(topology.node(edge.b).name).c_str(),
+                        label.c_str());
+  }
+}
+
+}  // namespace
+
+std::string topology_to_dot(const AppTopology& topology) {
+  std::string out = "graph application {\n  overlap=false;\n";
+  // Group clusters: diversity zones dashed, affinity groups solid.
+  std::size_t cluster = 0;
+  for (const auto& zone : topology.zones()) {
+    out += util::format(
+        "  subgraph cluster_%zu {\n    label=\"dz:%s (%s)\";\n"
+        "    style=dashed;\n",
+        cluster++, escape(zone.name).c_str(), to_string(zone.level));
+    for (const NodeId member : zone.members) {
+      out += util::format("    \"%s\";\n",
+                          escape(topology.node(member).name).c_str());
+    }
+    out += "  }\n";
+  }
+  for (const auto& group : topology.affinities()) {
+    out += util::format(
+        "  subgraph cluster_%zu {\n    label=\"affinity:%s (%s)\";\n"
+        "    style=solid;\n",
+        cluster++, escape(group.name).c_str(), to_string(group.level));
+    for (const NodeId member : group.members) {
+      out += util::format("    \"%s\";\n",
+                          escape(topology.node(member).name).c_str());
+    }
+    out += "  }\n";
+  }
+  for (const auto& node : topology.nodes()) out += node_statement(node);
+  append_edges(topology, out);
+  out += "}\n";
+  return out;
+}
+
+std::string placement_to_dot(const AppTopology& topology,
+                             const std::vector<std::uint32_t>& assignment,
+                             const DataCenter& datacenter) {
+  if (assignment.size() != topology.node_count()) {
+    throw std::invalid_argument("placement_to_dot: assignment size mismatch");
+  }
+  // Bucket nodes by host (ordered for stable output).
+  std::map<std::uint32_t, std::vector<NodeId>> by_host;
+  for (NodeId v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] >= datacenter.host_count()) {
+      throw std::invalid_argument("placement_to_dot: node " +
+                                  topology.node(v).name + " unplaced");
+    }
+    by_host[assignment[v]].push_back(v);
+  }
+
+  std::string out = "graph placement {\n  overlap=false;\n";
+  std::size_t cluster = 0;
+  for (const auto& [host, members] : by_host) {
+    const auto& meta = datacenter.host(host);
+    out += util::format(
+        "  subgraph cluster_%zu {\n    label=\"%s (rack %s)\";\n"
+        "    style=filled;\n    fillcolor=gray95;\n",
+        cluster++, escape(meta.name).c_str(),
+        escape(datacenter.racks()[meta.rack].name).c_str());
+    for (const NodeId member : members) {
+      out += "  " + node_statement(topology.node(member));
+    }
+    out += "  }\n";
+  }
+  append_edges(topology, out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ostro::dc

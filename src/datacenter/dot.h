@@ -1,0 +1,28 @@
+// Graphviz (DOT) rendering of application topologies and placements — the
+// Figure 2 / Figure 5 pictures of the paper, generated from live objects.
+//
+//   dot -Tsvg app.dot -o app.svg
+//
+// Topologies render nodes (VMs as boxes, volumes as cylinders) with their
+// requirements, pipes with bandwidth (and latency budget) labels, and
+// diversity zones / affinity groups as dashed or solid clusters.  Placement
+// rendering groups nodes by the host that received them instead.
+#pragma once
+
+#include <string>
+
+#include "datacenter/datacenter.h"
+#include "topology/app_topology.h"
+
+namespace ostro::dc {
+
+/// DOT document for the logical topology.
+[[nodiscard]] std::string topology_to_dot(const topo::AppTopology& topology);
+
+/// DOT document for a placement: nodes clustered by assigned host.
+[[nodiscard]] std::string placement_to_dot(
+    const topo::AppTopology& topology,
+    const std::vector<std::uint32_t>& assignment,
+    const DataCenter& datacenter);
+
+}  // namespace ostro::dc

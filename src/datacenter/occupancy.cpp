@@ -1,0 +1,133 @@
+#include "datacenter/occupancy.h"
+
+#include <stdexcept>
+
+namespace ostro::dc {
+
+Occupancy::Occupancy(const DataCenter& dc)
+    : dc_(&dc),
+      host_used_(dc.host_count()),
+      link_used_(dc.link_count(), 0.0),
+      active_(dc.host_count(), false) {}
+
+void Occupancy::check_host(HostId h) const {
+  if (h >= host_used_.size()) {
+    throw std::out_of_range("Occupancy: bad host id");
+  }
+}
+
+void Occupancy::check_link(LinkId link) const {
+  if (link >= link_used_.size()) {
+    throw std::out_of_range("Occupancy: bad link id");
+  }
+}
+
+topo::Resources Occupancy::used(HostId h) const {
+  check_host(h);
+  return host_used_[h];
+}
+
+topo::Resources Occupancy::available(HostId h) const {
+  check_host(h);
+  return dc_->host(h).capacity - host_used_[h];
+}
+
+double Occupancy::link_used_mbps(LinkId link) const {
+  check_link(link);
+  return link_used_[link];
+}
+
+double Occupancy::link_available_mbps(LinkId link) const {
+  check_link(link);
+  return dc_->link_capacity(link) - link_used_[link];
+}
+
+bool Occupancy::is_active(HostId h) const {
+  check_host(h);
+  return active_[h];
+}
+
+void Occupancy::add_host_load(HostId h, const topo::Resources& load) {
+  check_host(h);
+  topo::require_nonnegative(load, "add_host_load");
+  const topo::Resources next = host_used_[h] + load;
+  if (!next.fits_within(dc_->host(h).capacity)) {
+    throw std::invalid_argument("Occupancy::add_host_load: host " +
+                                dc_->host(h).name + " over capacity");
+  }
+  host_used_[h] = next;
+  if (!active_[h]) {
+    active_[h] = true;
+    ++active_count_;
+  }
+}
+
+void Occupancy::remove_host_load(HostId h, const topo::Resources& load) {
+  check_host(h);
+  topo::require_nonnegative(load, "remove_host_load");
+  const topo::Resources next = host_used_[h] - load;
+  constexpr double kEps = -1e-6;
+  if (next.vcpus < kEps || next.mem_gb < kEps || next.disk_gb < kEps) {
+    throw std::invalid_argument(
+        "Occupancy::remove_host_load: releasing more than used on " +
+        dc_->host(h).name);
+  }
+  host_used_[h] = {std::max(0.0, next.vcpus), std::max(0.0, next.mem_gb),
+                   std::max(0.0, next.disk_gb)};
+  // Active status is sticky: releasing load does not mark a host idle; the
+  // caller decides (a host that hosted a tenant may still hold others not
+  // tracked here).
+}
+
+void Occupancy::reserve_link(LinkId link, double mbps) {
+  check_link(link);
+  if (mbps < 0.0) {
+    throw std::invalid_argument("Occupancy::reserve_link: negative amount");
+  }
+  constexpr double kEps = 1e-9;
+  if (link_used_[link] + mbps > dc_->link_capacity(link) + kEps) {
+    throw std::invalid_argument("Occupancy::reserve_link: link " +
+                                dc_->link_name(link) + " over capacity");
+  }
+  link_used_[link] += mbps;
+}
+
+void Occupancy::release_link(LinkId link, double mbps) {
+  check_link(link);
+  if (mbps < 0.0) {
+    throw std::invalid_argument("Occupancy::release_link: negative amount");
+  }
+  if (link_used_[link] - mbps < -1e-6) {
+    throw std::invalid_argument(
+        "Occupancy::release_link: releasing more than reserved on " +
+        dc_->link_name(link));
+  }
+  link_used_[link] = std::max(0.0, link_used_[link] - mbps);
+}
+
+void Occupancy::mark_active(HostId h) {
+  check_host(h);
+  if (!active_[h]) {
+    active_[h] = true;
+    ++active_count_;
+  }
+}
+
+void Occupancy::set_active(HostId h, bool active) {
+  check_host(h);
+  if (active_[h] == active) return;
+  active_[h] = active;
+  if (active) {
+    ++active_count_;
+  } else {
+    --active_count_;
+  }
+}
+
+double Occupancy::total_reserved_mbps() const noexcept {
+  double total = 0.0;
+  for (double used : link_used_) total += used;
+  return total;
+}
+
+}  // namespace ostro::dc

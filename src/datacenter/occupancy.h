@@ -1,0 +1,71 @@
+// Mutable occupancy state of a DataCenter: per-host used resources, per-link
+// reserved bandwidth, and the host active/idle flag the u_c objective term
+// counts (Section II-B-1: hosts "that already contain existing nodes of this
+// or other applications (i.e., they are not idle)").
+//
+// Occupancy is a plain value (copyable) so callers can snapshot/restore
+// around tentative placements; the search algorithms themselves use cheaper
+// per-path deltas (core/state_delta.h) on top of a const Occupancy base.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "topology/resources.h"
+
+namespace ostro::dc {
+
+class Occupancy {
+ public:
+  /// All-idle occupancy for `dc`. The reference must outlive the Occupancy.
+  explicit Occupancy(const DataCenter& dc);
+
+  [[nodiscard]] const DataCenter& datacenter() const noexcept { return *dc_; }
+
+  // ---- queries ----
+  [[nodiscard]] topo::Resources used(HostId h) const;
+  [[nodiscard]] topo::Resources available(HostId h) const;
+  [[nodiscard]] double link_used_mbps(LinkId link) const;
+  [[nodiscard]] double link_available_mbps(LinkId link) const;
+  [[nodiscard]] bool is_active(HostId h) const;
+  /// Number of hosts currently active (non-idle).
+  [[nodiscard]] std::size_t active_host_count() const noexcept {
+    return active_count_;
+  }
+
+  // ---- mutations ----
+  /// Consumes `load` on host `h` and marks it active.
+  /// Throws std::invalid_argument when the host lacks capacity.
+  void add_host_load(HostId h, const topo::Resources& load);
+  /// Releases load previously added; throws when releasing more than used.
+  void remove_host_load(HostId h, const topo::Resources& load);
+
+  /// Reserves bandwidth on one link; throws when capacity would be exceeded.
+  void reserve_link(LinkId link, double mbps);
+  void release_link(LinkId link, double mbps);
+
+  /// Marks a host active without adding load (e.g. pre-existing tenants that
+  /// are modeled only as background load).
+  void mark_active(HostId h);
+
+  /// Force the active flag (used by transactional rollback to restore the
+  /// exact pre-transaction state).  Clearing does not touch the host's load.
+  void set_active(HostId h, bool active);
+
+  /// Total bandwidth reserved across all links (the u_bw measure).
+  [[nodiscard]] double total_reserved_mbps() const noexcept;
+
+  friend bool operator==(const Occupancy&, const Occupancy&) = default;
+
+ private:
+  void check_host(HostId h) const;
+  void check_link(LinkId link) const;
+
+  const DataCenter* dc_;
+  std::vector<topo::Resources> host_used_;
+  std::vector<double> link_used_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace ostro::dc

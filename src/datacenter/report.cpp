@@ -1,0 +1,87 @@
+#include "datacenter/report.h"
+
+#include "util/string_util.h"
+
+namespace ostro::dc {
+namespace {
+
+[[nodiscard]] double fraction(double used, double capacity) noexcept {
+  return capacity > 0.0 ? used / capacity : 0.0;
+}
+
+}  // namespace
+
+double UtilizationReport::cpu_fraction() const noexcept {
+  return fraction(cpu_used, cpu_capacity);
+}
+
+double UtilizationReport::mem_fraction() const noexcept {
+  return fraction(mem_used_gb, mem_capacity_gb);
+}
+
+double UtilizationReport::disk_fraction() const noexcept {
+  return fraction(disk_used_gb, disk_capacity_gb);
+}
+
+std::string UtilizationReport::to_string() const {
+  std::string out = util::format(
+      "data center: %zu/%zu hosts active; cpu %.1f%%, mem %.1f%%, disk "
+      "%.1f%%; %.1f Gbps reserved\n",
+      active_hosts, hosts, 100.0 * cpu_fraction(), 100.0 * mem_fraction(),
+      100.0 * disk_fraction(), bandwidth_reserved_mbps / 1000.0);
+  for (const auto& rack : racks) {
+    out += util::format(
+        "  %-16s %2zu/%2zu hosts  cpu %5.1f%%  mem %5.1f%%  uplinks %5.1f%%  "
+        "tor %5.1f%%\n",
+        rack.name.c_str(), rack.active_hosts, rack.hosts,
+        100.0 * fraction(rack.cpu_used, rack.cpu_capacity),
+        100.0 * fraction(rack.mem_used_gb, rack.mem_capacity_gb),
+        100.0 * fraction(rack.host_uplink_used_mbps,
+                         rack.host_uplink_capacity_mbps),
+        100.0 * fraction(rack.tor_used_mbps, rack.tor_capacity_mbps));
+  }
+  return out;
+}
+
+UtilizationReport utilization_report(const Occupancy& occupancy) {
+  const DataCenter& datacenter = occupancy.datacenter();
+  UtilizationReport report;
+  report.hosts = datacenter.host_count();
+  report.active_hosts = occupancy.active_host_count();
+  report.racks.reserve(datacenter.racks().size());
+
+  for (const auto& rack : datacenter.racks()) {
+    RackUtilization ru;
+    ru.rack = rack.id;
+    ru.name = rack.name;
+    ru.hosts = rack.hosts.size();
+    for (const HostId host : rack.hosts) {
+      const Host& h = datacenter.host(host);
+      const topo::Resources used = occupancy.used(host);
+      ru.cpu_used += used.vcpus;
+      ru.cpu_capacity += h.capacity.vcpus;
+      ru.mem_used_gb += used.mem_gb;
+      ru.mem_capacity_gb += h.capacity.mem_gb;
+      ru.disk_used_gb += used.disk_gb;
+      ru.disk_capacity_gb += h.capacity.disk_gb;
+      ru.host_uplink_used_mbps +=
+          occupancy.link_used_mbps(datacenter.host_link(host));
+      ru.host_uplink_capacity_mbps += h.uplink_mbps;
+      if (occupancy.is_active(host)) ++ru.active_hosts;
+    }
+    ru.tor_used_mbps = occupancy.link_used_mbps(datacenter.rack_link(rack.id));
+    ru.tor_capacity_mbps = rack.uplink_mbps;
+
+    report.cpu_used += ru.cpu_used;
+    report.cpu_capacity += ru.cpu_capacity;
+    report.mem_used_gb += ru.mem_used_gb;
+    report.mem_capacity_gb += ru.mem_capacity_gb;
+    report.disk_used_gb += ru.disk_used_gb;
+    report.disk_capacity_gb += ru.disk_capacity_gb;
+    report.racks.push_back(std::move(ru));
+  }
+  report.bandwidth_reserved_mbps = occupancy.total_reserved_mbps();
+  return report;
+}
+
+}  // namespace ostro::dc

@@ -1,0 +1,47 @@
+// Occupancy introspection for operators: aggregate utilization of the data
+// center and per-rack summaries.  The scheduler makes better decisions the
+// fuller the picture it has; this report makes that picture visible to a
+// human (examples and benches print it, tests assert on its arithmetic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datacenter/occupancy.h"
+
+namespace ostro::dc {
+
+struct RackUtilization {
+  std::uint32_t rack = 0;
+  std::string name;
+  std::size_t hosts = 0;
+  std::size_t active_hosts = 0;
+  double cpu_used = 0.0, cpu_capacity = 0.0;
+  double mem_used_gb = 0.0, mem_capacity_gb = 0.0;
+  double disk_used_gb = 0.0, disk_capacity_gb = 0.0;
+  double host_uplink_used_mbps = 0.0, host_uplink_capacity_mbps = 0.0;
+  double tor_used_mbps = 0.0, tor_capacity_mbps = 0.0;
+};
+
+struct UtilizationReport {
+  std::size_t hosts = 0;
+  std::size_t active_hosts = 0;
+  double cpu_used = 0.0, cpu_capacity = 0.0;
+  double mem_used_gb = 0.0, mem_capacity_gb = 0.0;
+  double disk_used_gb = 0.0, disk_capacity_gb = 0.0;
+  double bandwidth_reserved_mbps = 0.0;  ///< over all links
+  std::vector<RackUtilization> racks;
+
+  /// Fraction helpers (0 when the capacity is 0).
+  [[nodiscard]] double cpu_fraction() const noexcept;
+  [[nodiscard]] double mem_fraction() const noexcept;
+  [[nodiscard]] double disk_fraction() const noexcept;
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Snapshots the utilization of `occupancy`.
+[[nodiscard]] UtilizationReport utilization_report(const Occupancy& occupancy);
+
+}  // namespace ostro::dc

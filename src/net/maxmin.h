@@ -1,0 +1,44 @@
+// Max-min fair bandwidth allocation over the data-center tree.
+//
+// The QFS testbed experiments of the paper observe application throughput as
+// a function of placement; this solver reproduces that observable in
+// simulation.  Given a set of flows (host pairs with a demand), progressive
+// filling assigns each flow the max-min fair rate subject to every link
+// capacity along its path: rates grow together until a link saturates, flows
+// through saturated links freeze, and the rest keep growing until all flows
+// are frozen at a bottleneck or at their demand.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "datacenter/occupancy.h"
+
+namespace ostro::net {
+
+struct Flow {
+  dc::HostId src = dc::kInvalidHost;
+  dc::HostId dst = dc::kInvalidHost;
+  /// Offered load (Mbps); the allocated rate never exceeds it. Must be > 0.
+  double demand_mbps = 0.0;
+};
+
+struct FairShareResult {
+  /// Allocated rate per flow, parallel to the input vector.
+  std::vector<double> rate_mbps;
+  /// Sum of allocated rates.
+  double total_mbps = 0.0;
+  /// Number of progressive-filling rounds performed.
+  int rounds = 0;
+};
+
+/// Solves max-min fairness against the full link capacities of `dc`.
+[[nodiscard]] FairShareResult max_min_fair_rates(const dc::DataCenter& dc,
+                                                 const std::vector<Flow>& flows);
+
+/// Same, but capacities are reduced by what `occupancy` has already
+/// reserved (background traffic from other tenants).
+[[nodiscard]] FairShareResult max_min_fair_rates(const dc::Occupancy& occupancy,
+                                                 const std::vector<Flow>& flows);
+
+}  // namespace ostro::net

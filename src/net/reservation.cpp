@@ -1,0 +1,81 @@
+#include "net/reservation.h"
+
+#include <stdexcept>
+
+namespace ostro::net {
+
+PlacementTransaction::~PlacementTransaction() {
+  if (!committed_) rollback();
+}
+
+void PlacementTransaction::rollback() noexcept {
+  // Undo in reverse order; release/remove cannot throw for amounts that were
+  // successfully reserved.
+  for (auto it = link_ops_.rbegin(); it != link_ops_.rend(); ++it) {
+    occupancy_->release_link(it->link, it->mbps);
+  }
+  for (auto it = host_ops_.rbegin(); it != host_ops_.rend(); ++it) {
+    occupancy_->remove_host_load(it->host, it->load);
+    occupancy_->set_active(it->host, it->was_active);
+  }
+  host_ops_.clear();
+  link_ops_.clear();
+  committed_ = true;  // nothing left to roll back
+}
+
+void PlacementTransaction::apply(const topo::AppTopology& topology,
+                                 const Assignment& assignment) {
+  if (assignment.size() != topology.node_count()) {
+    throw std::invalid_argument(
+        "PlacementTransaction::apply: assignment size mismatch");
+  }
+  const dc::DataCenter& datacenter = occupancy_->datacenter();
+  try {
+    for (const auto& node : topology.nodes()) {
+      const dc::HostId host = assignment[node.id];
+      if (host == dc::kInvalidHost || host >= datacenter.host_count()) {
+        throw std::invalid_argument("node " + node.name + " is unplaced");
+      }
+      const bool was_active = occupancy_->is_active(host);
+      occupancy_->add_host_load(host, node.requirements);
+      host_ops_.push_back({host, node.requirements, was_active});
+    }
+    std::vector<dc::LinkId> links;
+    for (const auto& edge : topology.edges()) {
+      links.clear();
+      datacenter.path_links(assignment[edge.a], assignment[edge.b], links);
+      for (const dc::LinkId link : links) {
+        occupancy_->reserve_link(link, edge.bandwidth_mbps);
+        link_ops_.push_back({link, edge.bandwidth_mbps});
+      }
+    }
+  } catch (...) {
+    rollback();
+    committed_ = false;  // transaction stays live (empty) after failure
+    throw;
+  }
+}
+
+void commit_placement(dc::Occupancy& occupancy,
+                      const topo::AppTopology& topology,
+                      const Assignment& assignment) {
+  PlacementTransaction txn(occupancy);
+  txn.apply(topology, assignment);
+  txn.commit();
+}
+
+double reserved_bandwidth_mbps(const dc::DataCenter& dc,
+                               const topo::AppTopology& topology,
+                               const Assignment& assignment) {
+  if (assignment.size() != topology.node_count()) {
+    throw std::invalid_argument("reserved_bandwidth_mbps: size mismatch");
+  }
+  double total = 0.0;
+  for (const auto& edge : topology.edges()) {
+    const auto scope = dc.scope_between(assignment[edge.a], assignment[edge.b]);
+    total += edge.bandwidth_mbps * dc::hop_count(scope);
+  }
+  return total;
+}
+
+}  // namespace ostro::net

@@ -1,0 +1,73 @@
+// Applying a finished placement to the data-center occupancy.
+//
+// PlacementTransaction reserves every node's host resources and every pipe's
+// bandwidth along its physical path, with all-or-nothing semantics: if any
+// reservation fails the partial work is rolled back and the occupancy is
+// untouched.  The Heat engine (src/openstack) and the experiment runner use
+// it to commit successive applications onto a shared data center.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/occupancy.h"
+#include "topology/app_topology.h"
+
+namespace ostro::net {
+
+/// Node-to-host mapping; index = NodeId, value = HostId
+/// (dc::kInvalidHost for unplaced nodes is not allowed here).
+using Assignment = std::vector<dc::HostId>;
+
+/// RAII transaction: apply() reserves, commit() keeps, destruction without
+/// commit rolls back.
+class PlacementTransaction {
+ public:
+  explicit PlacementTransaction(dc::Occupancy& occupancy)
+      : occupancy_(&occupancy) {}
+  ~PlacementTransaction();
+
+  PlacementTransaction(const PlacementTransaction&) = delete;
+  PlacementTransaction& operator=(const PlacementTransaction&) = delete;
+
+  /// Reserves all resources of `topology` mapped by `assignment`.
+  /// Throws std::invalid_argument on any capacity violation or malformed
+  /// assignment; the occupancy is left exactly as before the call.
+  void apply(const topo::AppTopology& topology, const Assignment& assignment);
+
+  /// Keeps the reservations; the destructor becomes a no-op.
+  void commit() noexcept { committed_ = true; }
+
+  /// Explicit rollback of everything applied so far.
+  void rollback() noexcept;
+
+ private:
+  struct HostOp {
+    dc::HostId host;
+    topo::Resources load;
+    bool was_active = false;  ///< active flag before this op (for rollback)
+  };
+  struct LinkOp {
+    dc::LinkId link;
+    double mbps;
+  };
+
+  dc::Occupancy* occupancy_;
+  std::vector<HostOp> host_ops_;
+  std::vector<LinkOp> link_ops_;
+  bool committed_ = false;
+};
+
+/// One-shot convenience: apply and commit, or throw leaving `occupancy`
+/// unchanged.
+void commit_placement(dc::Occupancy& occupancy,
+                      const topo::AppTopology& topology,
+                      const Assignment& assignment);
+
+/// Bandwidth the placement reserves on physical links, i.e. the paper's
+/// u_bw: each pipe contributes bandwidth × links-traversed (0 when both
+/// endpoints share a host).
+[[nodiscard]] double reserved_bandwidth_mbps(const dc::DataCenter& dc,
+                                             const topo::AppTopology& topology,
+                                             const Assignment& assignment);
+
+}  // namespace ostro::net

@@ -1,0 +1,45 @@
+// Simulated Heat engine: turns a (possibly annotated) QoS-enhanced template
+// into committed reservations on the data center.
+//
+// Every server/volume resource is scheduled through Nova/Cinder — honoring
+// the "ATT::Ostro::force_host" scheduler hint when present, falling back to
+// the stock filter/weigher behavior otherwise — and the pipes' bandwidth is
+// reserved along the physical paths.  The deployment is transactional: any
+// failure (no host passes the filters, a pipe does not fit the network, a
+// diversity zone is violated) rolls everything back and reports the reason.
+#pragma once
+
+#include <string>
+
+#include "datacenter/occupancy.h"
+#include "openstack/heat_template.h"
+
+namespace ostro::os {
+
+struct StackDeployment {
+  bool success = false;
+  std::string failure;
+  net::Assignment assignment;  ///< node-id -> host, valid when success
+  double reserved_bandwidth_mbps = 0.0;
+  int new_active_hosts = 0;
+};
+
+class HeatEngine {
+ public:
+  /// `occupancy` must outlive the engine; deployments commit into it.
+  explicit HeatEngine(dc::Occupancy& occupancy) : occupancy_(&occupancy) {}
+
+  /// Deploys the stack described by `annotated` (a template document whose
+  /// resources may carry force_host scheduler hints).  Diversity zones are
+  /// enforced as a final validation gate regardless of who chose the hosts,
+  /// mirroring Valet's role as a placement validator.
+  [[nodiscard]] StackDeployment deploy(const util::Json& annotated);
+
+  /// Convenience: parse + deploy.
+  [[nodiscard]] StackDeployment deploy_text(std::string_view template_text);
+
+ private:
+  dc::Occupancy* occupancy_;
+};
+
+}  // namespace ostro::os

@@ -1,0 +1,170 @@
+#include "openstack/heat_template.h"
+
+#include <map>
+
+namespace ostro::os {
+namespace {
+
+[[nodiscard]] topo::DiversityLevel parse_level(const std::string& text) {
+  if (text == "host") return topo::DiversityLevel::kHost;
+  if (text == "rack") return topo::DiversityLevel::kRack;
+  if (text == "pod") return topo::DiversityLevel::kPod;
+  if (text == "datacenter" || text == "dc") {
+    return topo::DiversityLevel::kDatacenter;
+  }
+  throw TemplateError("unknown diversity level: " + text);
+}
+
+[[nodiscard]] topo::Resources parse_flavor(const util::Json& flavor) {
+  if (flavor.is_string()) return flavor_by_name(flavor.as_string());
+  if (flavor.is_object()) {
+    topo::Resources r;
+    r.vcpus = flavor.number_or("vcpus", 1.0);
+    r.mem_gb = flavor.number_or("ram_gb", 1.0);
+    r.disk_gb = flavor.number_or("disk_gb", 0.0);
+    if (r.vcpus <= 0.0 || r.mem_gb <= 0.0 || r.disk_gb < 0.0) {
+      throw TemplateError("flavor with non-positive vcpus/ram");
+    }
+    return r;
+  }
+  throw TemplateError("flavor must be a name or an object");
+}
+
+}  // namespace
+
+topo::Resources flavor_by_name(const std::string& name) {
+  static const std::map<std::string, topo::Resources> kFlavors = {
+      {"m1.tiny", {1.0, 0.5, 0.0}},
+      {"m1.small", {2.0, 2.0, 0.0}},
+      {"m1.medium", {2.0, 4.0, 0.0}},
+      {"m1.large", {4.0, 8.0, 0.0}},
+      {"m1.xlarge", {8.0, 16.0, 0.0}},
+  };
+  const auto it = kFlavors.find(name);
+  if (it == kFlavors.end()) throw TemplateError("unknown flavor: " + name);
+  return it->second;
+}
+
+HeatTemplate HeatTemplate::parse_text(std::string_view text) {
+  try {
+    return parse(util::Json::parse(text));
+  } catch (const util::JsonError& e) {
+    throw TemplateError(std::string("template is not valid JSON: ") +
+                        e.what());
+  }
+}
+
+HeatTemplate HeatTemplate::parse(const util::Json& document) {
+  if (!document.is_object()) {
+    throw TemplateError("template root must be an object");
+  }
+  if (!document.contains("resources")) {
+    throw TemplateError("template has no resources section");
+  }
+
+  HeatTemplate out;
+  out.description = document.string_or("description", "");
+
+  topo::TopologyBuilder builder;
+  const auto& resources = document.at("resources").as_object();
+
+  // Pass 1: nodes (servers and volumes), so pipes/zones can reference them.
+  for (const auto& [key, resource] : resources) {
+    const std::string type = resource.string_or("type", "");
+    if (type.empty()) {
+      throw TemplateError("resource " + key + " has no type");
+    }
+    const util::Json empty = util::JsonObject{};
+    const util::Json& properties = resource.get_or("properties", empty);
+    try {
+      if (type == "OS::Nova::Server") {
+        builder.add_vm(key, parse_flavor(properties.at("flavor")));
+        if (properties.contains("required_tags")) {
+          std::vector<std::string> tags;
+          for (const auto& tag : properties.at("required_tags").as_array()) {
+            tags.push_back(tag.as_string());
+          }
+          builder.require_tags(key, std::move(tags));
+        }
+        out.resource_keys.push_back(key);
+      } else if (type == "OS::Cinder::Volume") {
+        builder.add_volume(key, properties.at("size_gb").as_number());
+        out.resource_keys.push_back(key);
+      }
+    } catch (const util::JsonError& e) {
+      throw TemplateError("resource " + key + ": " + e.what());
+    } catch (const std::invalid_argument& e) {
+      throw TemplateError("resource " + key + ": " + e.what());
+    }
+  }
+
+  // Pass 2: pipes and diversity zones.
+  for (const auto& [key, resource] : resources) {
+    const std::string type = resource.string_or("type", "");
+    const util::Json empty = util::JsonObject{};
+    const util::Json& properties = resource.get_or("properties", empty);
+    try {
+      if (type == "ATT::QoS::Pipe") {
+        builder.connect(properties.at("from").as_string(),
+                        properties.at("to").as_string(),
+                        properties.at("bandwidth_mbps").as_number(),
+                        properties.number_or("max_latency_us", 0.0));
+      } else if (type == "ATT::Valet::DiversityZone") {
+        std::vector<std::string> members;
+        for (const auto& member : properties.at("members").as_array()) {
+          members.push_back(member.as_string());
+        }
+        builder.add_zone(key, parse_level(properties.at("level").as_string()),
+                         members);
+      } else if (type == "ATT::Valet::AffinityGroup") {
+        std::vector<std::string> members;
+        for (const auto& member : properties.at("members").as_array()) {
+          members.push_back(member.as_string());
+        }
+        builder.add_affinity(key,
+                             parse_level(properties.at("level").as_string()),
+                             members);
+      } else if (type != "OS::Nova::Server" && type != "OS::Cinder::Volume") {
+        throw TemplateError("resource " + key + " has unsupported type " +
+                            type);
+      }
+    } catch (const util::JsonError& e) {
+      throw TemplateError("resource " + key + ": " + e.what());
+    } catch (const std::invalid_argument& e) {
+      throw TemplateError("resource " + key + ": " + e.what());
+    }
+  }
+
+  try {
+    out.topology = builder.build();
+  } catch (const std::invalid_argument& e) {
+    throw TemplateError(e.what());
+  }
+  return out;
+}
+
+util::Json annotate_with_placement(const util::Json& document,
+                                   const HeatTemplate& parsed,
+                                   const net::Assignment& assignment,
+                                   const dc::DataCenter& datacenter) {
+  if (assignment.size() != parsed.topology.node_count()) {
+    throw TemplateError("annotate_with_placement: assignment size mismatch");
+  }
+  util::Json annotated = document;  // deep copy
+  auto& resources =
+      annotated.as_object().at("resources").as_object();
+  for (const auto& node : parsed.topology.nodes()) {
+    const dc::HostId host = assignment[node.id];
+    if (host == dc::kInvalidHost) {
+      throw TemplateError("annotate_with_placement: node " + node.name +
+                          " unplaced");
+    }
+    auto& resource = resources.at(node.name).as_object();
+    util::JsonObject hints;
+    hints["ATT::Ostro::force_host"] = datacenter.host(host).name;
+    resource["scheduler_hints"] = util::Json(std::move(hints));
+  }
+  return annotated;
+}
+
+}  // namespace ostro::os

@@ -1,0 +1,80 @@
+// QoS-enhanced Heat templates (Figure 1 / Section II of the paper).
+//
+// The paper describes the application topology as "a Heat template extended
+// with diversity zones and a network pipe concept".  This module implements
+// that template as a JSON document:
+//
+//   {
+//     "heat_template_version": "2014-10-16",
+//     "description": "three tier web app",
+//     "resources": {
+//       "web0":  {"type": "OS::Nova::Server",
+//                 "properties": {"flavor": "m1.small"}},
+//       "db0":   {"type": "OS::Nova::Server",
+//                 "properties": {"flavor": {"vcpus": 4, "ram_gb": 8}}},
+//       "vol0":  {"type": "OS::Cinder::Volume",
+//                 "properties": {"size_gb": 120}},
+//       "pipe0": {"type": "ATT::QoS::Pipe",
+//                 "properties": {"from": "db0", "to": "vol0",
+//                                "bandwidth_mbps": 100}},
+//       "dz0":   {"type": "ATT::Valet::DiversityZone",
+//                 "properties": {"level": "host",
+//                                "members": ["web0", "db0"]}},
+//       "ag0":   {"type": "ATT::Valet::AffinityGroup",
+//                 "properties": {"level": "rack",
+//                                "members": ["db0", "vol0"]}}
+//     }
+//   }
+//
+// Optional properties: servers may carry "required_tags": ["ssd", ...]
+// (hardware affinity) and pipes "max_latency_us": 200 (latency budget,
+// Section VI future work).
+//
+// parse() validates the document and produces the AppTopology the Ostro
+// core consumes; annotate_with_placement() writes the scheduler hints
+// ("ATT::Ostro::force_host") back into a copy of the template, which is
+// what the Heat engine then enforces via Nova/Cinder — the exact flow of
+// the paper's Figure 1.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "net/reservation.h"
+#include "topology/app_topology.h"
+#include "util/json.h"
+
+namespace ostro::os {
+
+/// Raised on malformed or semantically invalid templates.
+class TemplateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct HeatTemplate {
+  std::string description;
+  topo::AppTopology topology;
+  /// Resource keys of VM/volume nodes in topology node-id order.
+  std::vector<std::string> resource_keys;
+
+  /// Parses and validates a template document.
+  [[nodiscard]] static HeatTemplate parse(const util::Json& document);
+  [[nodiscard]] static HeatTemplate parse_text(std::string_view text);
+};
+
+/// Known Nova flavors accepted as string flavor names.
+/// m1.tiny (1/0.5), m1.small (2/2), m1.medium (2/4), m1.large (4/8),
+/// m1.xlarge (8/16); throws TemplateError for unknown names.
+[[nodiscard]] topo::Resources flavor_by_name(const std::string& name);
+
+/// Returns a copy of `document` in which every server/volume resource
+/// carries {"scheduler_hints": {"ATT::Ostro::force_host": "<host name>"}}
+/// per `assignment`.
+[[nodiscard]] util::Json annotate_with_placement(
+    const util::Json& document, const HeatTemplate& parsed,
+    const net::Assignment& assignment, const dc::DataCenter& datacenter);
+
+}  // namespace ostro::os

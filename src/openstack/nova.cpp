@@ -1,0 +1,65 @@
+#include "openstack/nova.h"
+
+namespace ostro::os {
+
+std::optional<dc::HostId> find_host_by_name(const dc::DataCenter& datacenter,
+                                            const std::string& name) {
+  return datacenter.find_host(name);
+}
+
+std::optional<dc::HostId> NovaScheduler::select_host(
+    const dc::Occupancy& occupancy, const topo::Resources& flavor) {
+  const dc::DataCenter& datacenter = occupancy.datacenter();
+  std::optional<dc::HostId> best;
+  double best_weight = -1.0;
+  for (const auto& host : datacenter.hosts()) {
+    const topo::Resources avail = occupancy.available(host.id);
+    if (!flavor.fits_within(avail)) continue;  // Core/Ram/Disk filters
+    // RAMWeigher + CPUWeigher (normalized free capacity, spread behavior).
+    const double weight =
+        (host.capacity.mem_gb > 0.0 ? avail.mem_gb / host.capacity.mem_gb
+                                    : 0.0) +
+        (host.capacity.vcpus > 0.0 ? avail.vcpus / host.capacity.vcpus : 0.0);
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = host.id;
+    }
+  }
+  return best;
+}
+
+std::optional<dc::HostId> NovaScheduler::select_forced(
+    const dc::Occupancy& occupancy, const topo::Resources& flavor,
+    const std::string& host_name) {
+  const auto host = find_host_by_name(occupancy.datacenter(), host_name);
+  if (!host) return std::nullopt;
+  if (!flavor.fits_within(occupancy.available(*host))) return std::nullopt;
+  return host;
+}
+
+std::optional<dc::HostId> CinderScheduler::select_host(
+    const dc::Occupancy& occupancy, double size_gb) {
+  const dc::DataCenter& datacenter = occupancy.datacenter();
+  std::optional<dc::HostId> best;
+  double best_free = -1.0;
+  for (const auto& host : datacenter.hosts()) {
+    const double free = occupancy.available(host.id).disk_gb;
+    if (free < size_gb) continue;  // CapacityFilter
+    if (free > best_free) {        // CapacityWeigher
+      best_free = free;
+      best = host.id;
+    }
+  }
+  return best;
+}
+
+std::optional<dc::HostId> CinderScheduler::select_forced(
+    const dc::Occupancy& occupancy, double size_gb,
+    const std::string& host_name) {
+  const auto host = find_host_by_name(occupancy.datacenter(), host_name);
+  if (!host) return std::nullopt;
+  if (occupancy.available(*host).disk_gb < size_gb) return std::nullopt;
+  return host;
+}
+
+}  // namespace ostro::os

@@ -1,0 +1,51 @@
+// Simulated OpenStack Nova and Cinder schedulers — the "naive" baseline of
+// the paper's introduction: each VM or volume request is handled in
+// isolation, with no knowledge of the application's pipes or of requests
+// that will follow.
+//
+// Nova is modeled after the classic FilterScheduler: filters (CoreFilter,
+// RamFilter, DiskFilter) drop hosts that lack capacity, then weighers rank
+// the survivors — the stock RAMWeigher/CPUWeigher prefer the hosts with
+// the most free memory/cores, which spreads load across the fleet.  Cinder
+// analogously picks the backend (here: host-attached disk) with the most
+// free capacity.  Both honor a force_host scheduler hint, which is how the
+// Ostro wrapper drives them to the holistic placement (Figure 1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "datacenter/occupancy.h"
+#include "topology/resources.h"
+
+namespace ostro::os {
+
+class NovaScheduler {
+ public:
+  /// Picks a host for one server request against the current occupancy, or
+  /// nullopt when every host fails the filters.  Does not commit.
+  [[nodiscard]] static std::optional<dc::HostId> select_host(
+      const dc::Occupancy& occupancy, const topo::Resources& flavor);
+
+  /// force_host path: validates that the named host passes the filters.
+  [[nodiscard]] static std::optional<dc::HostId> select_forced(
+      const dc::Occupancy& occupancy, const topo::Resources& flavor,
+      const std::string& host_name);
+};
+
+class CinderScheduler {
+ public:
+  /// Picks a host-attached disk for one volume request (most free disk).
+  [[nodiscard]] static std::optional<dc::HostId> select_host(
+      const dc::Occupancy& occupancy, double size_gb);
+
+  [[nodiscard]] static std::optional<dc::HostId> select_forced(
+      const dc::Occupancy& occupancy, double size_gb,
+      const std::string& host_name);
+};
+
+/// Looks a host up by name; nullopt when absent.
+[[nodiscard]] std::optional<dc::HostId> find_host_by_name(
+    const dc::DataCenter& datacenter, const std::string& name);
+
+}  // namespace ostro::os

@@ -1,0 +1,42 @@
+#include "openstack/ostro_wrapper.h"
+
+namespace ostro::os {
+
+WrapperResult OstroHeatWrapper::process(const util::Json& template_document,
+                                        core::Algorithm algorithm) {
+  WrapperResult result;
+  HeatTemplate parsed;
+  try {
+    parsed = HeatTemplate::parse(template_document);
+  } catch (const TemplateError& e) {
+    result.deployment.failure = e.what();
+    return result;
+  }
+
+  result.placement = scheduler_->plan(parsed.topology, algorithm);
+  if (!result.placement.feasible) {
+    result.deployment.failure =
+        "Ostro found no feasible placement: " + result.placement.failure_reason;
+    return result;
+  }
+
+  result.annotated_template = annotate_with_placement(
+      template_document, parsed, result.placement.assignment,
+      scheduler_->datacenter());
+  result.deployment = engine_->deploy(result.annotated_template);
+  return result;
+}
+
+WrapperResult OstroHeatWrapper::process_text(std::string_view template_text,
+                                             core::Algorithm algorithm) {
+  try {
+    return process(util::Json::parse(template_text), algorithm);
+  } catch (const util::JsonError& e) {
+    WrapperResult result;
+    result.deployment.failure = std::string("invalid template JSON: ") +
+                                e.what();
+    return result;
+  }
+}
+
+}  // namespace ostro::os

@@ -1,0 +1,39 @@
+// The Heat wrapper of Figure 1: intercepts a QoS-enhanced Heat template,
+// asks Ostro for a holistic placement, annotates the template with the
+// resulting force_host scheduler hints, and hands it to the Heat engine,
+// which drives Nova/Cinder onto the designated hosts and disks.
+#pragma once
+
+#include "core/scheduler.h"
+#include "openstack/heat_engine.h"
+#include "openstack/heat_template.h"
+
+namespace ostro::os {
+
+struct WrapperResult {
+  core::Placement placement;     ///< Ostro's decision (may be infeasible)
+  util::Json annotated_template; ///< template with scheduler hints
+  StackDeployment deployment;    ///< what the Heat engine then did
+};
+
+class OstroHeatWrapper {
+ public:
+  /// Scheduler and engine must share the same occupancy lifetime; the usual
+  /// wiring is one OstroScheduler plus a HeatEngine over its occupancy.
+  OstroHeatWrapper(core::OstroScheduler& scheduler, HeatEngine& engine)
+      : scheduler_(&scheduler), engine_(&engine) {}
+
+  /// Full pipeline: parse -> Ostro placement -> annotate -> Heat deploy.
+  /// On any failure the returned deployment carries the reason and nothing
+  /// is committed.
+  [[nodiscard]] WrapperResult process(const util::Json& template_document,
+                                      core::Algorithm algorithm);
+  [[nodiscard]] WrapperResult process_text(std::string_view template_text,
+                                           core::Algorithm algorithm);
+
+ private:
+  core::OstroScheduler* scheduler_;
+  HeatEngine* engine_;
+};
+
+}  // namespace ostro::os

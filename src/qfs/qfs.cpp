@@ -1,0 +1,204 @@
+#include "qfs/qfs.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ostro::qfs {
+namespace {
+
+constexpr double kChunkMb = 64.0;  // QFS chunk size
+
+[[nodiscard]] dc::HostId host_of(const topo::AppTopology& topology,
+                                 const net::Assignment& assignment,
+                                 const std::string& name) {
+  const auto id = topology.find_node(name);
+  if (!id) {
+    throw std::invalid_argument("QfsCluster: topology has no node " + name);
+  }
+  const dc::HostId host = assignment[*id];
+  if (host == dc::kInvalidHost) {
+    throw std::invalid_argument("QfsCluster: node " + name + " is unplaced");
+  }
+  return host;
+}
+
+}  // namespace
+
+QfsCluster::QfsCluster(const topo::AppTopology& topology,
+                       const net::Assignment& assignment,
+                       const dc::Occupancy& base)
+    : base_(&base) {
+  if (assignment.size() != topology.node_count()) {
+    throw std::invalid_argument("QfsCluster: assignment size mismatch");
+  }
+  client_host_ = host_of(topology, assignment, "client");
+  meta_host_ = host_of(topology, assignment, "meta");
+  for (int i = 0;; ++i) {
+    const std::string name = util::format("chunk%d", i);
+    if (!topology.find_node(name)) break;
+    chunk_hosts_.push_back(host_of(topology, assignment, name));
+    volume_hosts_.push_back(host_of(topology, assignment, name + "-vol"));
+  }
+  if (chunk_hosts_.empty()) {
+    throw std::invalid_argument("QfsCluster: no chunk servers in topology");
+  }
+}
+
+BenchmarkResult QfsCluster::solve(const std::vector<net::Flow>& flows,
+                                  double total_mb) const {
+  BenchmarkResult result;
+  result.flows = flows.size();
+
+  // Split the flows: co-located ones move data at local-I/O speed and do
+  // not contend on the network.
+  std::vector<net::Flow> remote;
+  for (const auto& flow : flows) {
+    if (flow.src == flow.dst) {
+      ++result.colocated_flows;
+      result.aggregate_mbps += flow.demand_mbps;
+    } else {
+      remote.push_back(flow);
+    }
+  }
+  double slowest = std::numeric_limits<double>::infinity();
+  if (!remote.empty()) {
+    const net::FairShareResult fair = net::max_min_fair_rates(*base_, remote);
+    result.aggregate_mbps += fair.total_mbps;
+    for (const double rate : fair.rate_mbps) {
+      slowest = std::min(slowest, rate);
+    }
+  }
+  result.slowest_flow_mbps =
+      remote.empty() ? (flows.empty() ? 0.0 : flows.front().demand_mbps)
+                     : slowest;
+  // Megabytes -> megabits (x8), moved at the aggregate rate.
+  result.completion_seconds =
+      result.aggregate_mbps > 0.0 ? total_mb * 8.0 / result.aggregate_mbps
+                                  : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+BenchmarkResult QfsCluster::write_benchmark(double file_mb, int replication,
+                                            double offered_mbps) const {
+  if (file_mb <= 0.0 || offered_mbps <= 0.0 || replication < 1) {
+    throw std::invalid_argument("write_benchmark: bad parameters");
+  }
+  const auto servers = chunk_hosts_.size();
+  const auto chunks =
+      static_cast<std::size_t>((file_mb + kChunkMb - 1.0) / kChunkMb);
+
+  // Round-robin striping: chunk c lands on server c % n with replicas on
+  // the following servers.  One flow per (server pair) aggregate; demands
+  // scale with how many chunks travel that leg.
+  std::vector<double> primary_chunks(servers, 0.0);
+  std::vector<double> replica_chunks(servers, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t primary = c % servers;
+    primary_chunks[primary] += 1.0;
+    for (int r = 1; r < replication; ++r) {
+      replica_chunks[(primary + static_cast<std::size_t>(r)) % servers] += 1.0;
+    }
+  }
+
+  std::vector<net::Flow> flows;
+  const double per_chunk_share =
+      offered_mbps / static_cast<double>(std::max<std::size_t>(1, chunks));
+  for (std::size_t s = 0; s < servers; ++s) {
+    if (primary_chunks[s] > 0.0) {
+      // client -> primary server, then server -> its volume.
+      flows.push_back({client_host_, chunk_hosts_[s],
+                       per_chunk_share * primary_chunks[s]});
+      flows.push_back({chunk_hosts_[s], volume_hosts_[s],
+                       per_chunk_share * primary_chunks[s]});
+    }
+    if (replica_chunks[s] > 0.0) {
+      // primary forwards to the replica server (chain replication): the
+      // sender is the previous server in the stripe ring.
+      const std::size_t sender = (s + servers - 1) % servers;
+      flows.push_back({chunk_hosts_[sender], chunk_hosts_[s],
+                       per_chunk_share * replica_chunks[s]});
+      flows.push_back({chunk_hosts_[s], volume_hosts_[s],
+                       per_chunk_share * replica_chunks[s]});
+    }
+  }
+  // Meta-server chatter: one small control flow from the client.
+  flows.push_back({client_host_, meta_host_, 10.0});
+
+  return solve(flows, file_mb * static_cast<double>(replication));
+}
+
+QfsCluster::DegradedResult QfsCluster::degraded_read_benchmark(
+    double file_mb, dc::HostId failed_host, double offered_mbps) const {
+  if (file_mb <= 0.0 || offered_mbps <= 0.0) {
+    throw std::invalid_argument("degraded_read_benchmark: bad parameters");
+  }
+  const auto servers = chunk_hosts_.size();
+  const auto chunks =
+      static_cast<std::size_t>((file_mb + kChunkMb - 1.0) / kChunkMb);
+  const double per_chunk_share =
+      offered_mbps / static_cast<double>(std::max<std::size_t>(1, chunks));
+
+  DegradedResult result;
+  // Per serving server: how many chunks it must deliver in degraded mode.
+  std::vector<double> serving(servers, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t server = c % servers;
+    if (chunk_hosts_[server] == failed_host) {
+      // Primary down: the replica lives on the next server in the ring
+      // (write_benchmark's chain replication).
+      const std::size_t replica = (server + 1) % servers;
+      if (chunk_hosts_[replica] == failed_host || replica == server) {
+        ++result.lost_chunks;
+        continue;
+      }
+      server = replica;
+      ++result.rerouted_chunks;
+    }
+    serving[server] += 1.0;
+  }
+
+  std::vector<net::Flow> flows;
+  double readable_mb = 0.0;
+  for (std::size_t s = 0; s < servers; ++s) {
+    if (serving[s] <= 0.0) continue;
+    readable_mb += serving[s] * kChunkMb;
+    flows.push_back({volume_hosts_[s], chunk_hosts_[s],
+                     per_chunk_share * serving[s]});
+    flows.push_back({chunk_hosts_[s], client_host_,
+                     per_chunk_share * serving[s]});
+  }
+  flows.push_back({client_host_, meta_host_, 10.0});
+  result.benchmark = solve(flows, std::min(readable_mb, file_mb));
+  return result;
+}
+
+BenchmarkResult QfsCluster::read_benchmark(double file_mb,
+                                           double offered_mbps) const {
+  if (file_mb <= 0.0 || offered_mbps <= 0.0) {
+    throw std::invalid_argument("read_benchmark: bad parameters");
+  }
+  const auto servers = chunk_hosts_.size();
+  const auto chunks =
+      static_cast<std::size_t>((file_mb + kChunkMb - 1.0) / kChunkMb);
+  std::vector<double> primary_chunks(servers, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) primary_chunks[c % servers] += 1.0;
+
+  std::vector<net::Flow> flows;
+  const double per_chunk_share =
+      offered_mbps / static_cast<double>(std::max<std::size_t>(1, chunks));
+  for (std::size_t s = 0; s < servers; ++s) {
+    if (primary_chunks[s] <= 0.0) continue;
+    // volume -> server -> client.
+    flows.push_back({volume_hosts_[s], chunk_hosts_[s],
+                     per_chunk_share * primary_chunks[s]});
+    flows.push_back({chunk_hosts_[s], client_host_,
+                     per_chunk_share * primary_chunks[s]});
+  }
+  flows.push_back({client_host_, meta_host_, 10.0});
+  return solve(flows, file_mb);
+}
+
+}  // namespace ostro::qfs

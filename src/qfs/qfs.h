@@ -1,0 +1,87 @@
+// QFS (Quantcast File System) cluster simulation — the "realistic cloud
+// storage application" of the paper's testbed experiments (Section IV-A).
+//
+// The real experiment deploys QFS (meta server, chunk servers with disk
+// volumes, a benchmarking client) and measures how the placement affects
+// the file-system benchmark.  This module reproduces that observable in
+// simulation: files are split into 64 MB chunks, striped over the chunk
+// servers with a configurable replication factor, and every write/read is
+// translated into network flows (client <-> chunk server, chunk server <->
+// replica, chunk server <-> volume) whose rates are computed by the
+// max-min fair solver of src/net against the placed cluster.  A placement
+// that bin-packs the chunk servers onto few hosts (EG_C-style) shares few
+// host uplinks across many flows and shows up directly as lower benchmark
+// throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datacenter/occupancy.h"
+#include "net/maxmin.h"
+#include "net/reservation.h"
+#include "topology/app_topology.h"
+
+namespace ostro::qfs {
+
+struct BenchmarkResult {
+  double aggregate_mbps = 0.0;       ///< sum of all data-flow rates
+  double slowest_flow_mbps = 0.0;    ///< the straggler that gates the run
+  double completion_seconds = 0.0;   ///< time to move all bytes
+  std::size_t flows = 0;
+  std::size_t colocated_flows = 0;   ///< flows with src == dst host (free)
+};
+
+class QfsCluster {
+ public:
+  /// `topology` must follow the naming of sim::make_qfs ("client",
+  /// "chunk<i>", "chunk<i>-vol", "meta"); `assignment` is its placement.
+  /// Throws std::invalid_argument when a required node is missing or
+  /// unplaced.  `base` supplies background traffic (other tenants).
+  QfsCluster(const topo::AppTopology& topology,
+             const net::Assignment& assignment, const dc::Occupancy& base);
+
+  [[nodiscard]] std::size_t chunk_server_count() const noexcept {
+    return chunk_hosts_.size();
+  }
+
+  /// Writes `file_mb` megabytes: chunks are striped round-robin across the
+  /// chunk servers; each chunk produces a client->server flow, replication
+  /// flows to the next `replication - 1` servers, and server->volume I/O
+  /// (free when co-located).  Demands are `offered_mbps` per flow.
+  [[nodiscard]] BenchmarkResult write_benchmark(double file_mb,
+                                                int replication = 2,
+                                                double offered_mbps = 1000.0) const;
+
+  /// Reads the same striping back: one server->client flow per chunk batch.
+  [[nodiscard]] BenchmarkResult read_benchmark(double file_mb,
+                                               double offered_mbps = 1000.0) const;
+
+  /// Degraded read after `failed_host` dies: chunks whose primary lived
+  /// there are fetched from the next server in the stripe ring (where the
+  /// replica landed, see write_benchmark).  This is the reliability story
+  /// behind the paper's diversity zones — with the 12 chunk volumes forced
+  /// onto 12 separate disks, one host failure costs 1/12 of the primaries
+  /// instead of all of them.  Returns the number of chunks that became
+  /// unreadable (primary AND replica on the failed host) in `lost_chunks`.
+  struct DegradedResult {
+    BenchmarkResult benchmark;
+    std::size_t rerouted_chunks = 0;
+    std::size_t lost_chunks = 0;
+  };
+  [[nodiscard]] DegradedResult degraded_read_benchmark(
+      double file_mb, dc::HostId failed_host,
+      double offered_mbps = 1000.0) const;
+
+ private:
+  [[nodiscard]] BenchmarkResult solve(const std::vector<net::Flow>& flows,
+                                      double total_mb) const;
+
+  const dc::Occupancy* base_;
+  dc::HostId client_host_ = dc::kInvalidHost;
+  dc::HostId meta_host_ = dc::kInvalidHost;
+  std::vector<dc::HostId> chunk_hosts_;
+  std::vector<dc::HostId> volume_hosts_;
+};
+
+}  // namespace ostro::qfs

@@ -1,0 +1,48 @@
+// Data-center builders and background-load ("non-uniform resource
+// availability") configurators reproducing the paper's two environments:
+//
+//  * the 16-host testbed of Section IV-A: one rack, hosts with 16 cores /
+//    32 GB / 1 TB and 3200 Mbps uplinks, pre-loaded so that hosts 0-3 are
+//    lightly used, 4-7 medium, 8-11 constrained and 12-15 idle;
+//  * the simulated data center of Section IV-C: 2400 hosts in 150 racks of
+//    16 (no pod layer — ToRs hang directly off the root), 10 Gbps host
+//    uplinks, 100 Gbps ToR uplinks, pre-loaded per rack with the Table IV
+//    quartiles (cpu/memory availability anti-correlated with bandwidth).
+#pragma once
+
+#include "datacenter/datacenter.h"
+#include "datacenter/occupancy.h"
+#include "util/rng.h"
+
+namespace ostro::sim {
+
+/// One-rack 16-host testbed (Section IV-A).
+[[nodiscard]] dc::DataCenter make_testbed();
+
+/// Applies the testbed's non-uniform pre-load (Section IV-A) to an all-idle
+/// occupancy of make_testbed(); `rng` draws the within-band values (e.g.
+/// "8 or 10 available cores").
+void apply_testbed_preload(dc::Occupancy& occupancy, util::Rng& rng);
+
+/// Simulation data center: `racks` racks of `hosts_per_rack` hosts
+/// (defaults are the paper's 150 x 16 = 2400).
+[[nodiscard]] dc::DataCenter make_sim_datacenter(int racks = 150,
+                                                 int hosts_per_rack = 16);
+
+/// Applies the Table IV non-uniform availability: per rack, one quartile of
+/// hosts in each availability band.  Bandwidth availability is enforced by
+/// reserving the complement on the host uplink.
+void apply_sim_preload(dc::Occupancy& occupancy, util::Rng& rng);
+
+/// Wide-area deployment: `sites` data centers, each with a pod layer
+/// (`pods_per_site` pods of `racks_per_pod` racks of `hosts_per_rack`
+/// hosts), behind a `wan_gbps` interconnect.  The paper's conclusion notes
+/// Ostro "can serve as the basis for placement across multiple data
+/// centers in the wide area as well" — datacenter-level diversity zones
+/// and the 8-link cross-site paths exercise exactly that.
+[[nodiscard]] dc::DataCenter make_wan(int sites = 3, int pods_per_site = 2,
+                                      int racks_per_pod = 4,
+                                      int hosts_per_rack = 8,
+                                      double wan_gbps = 40.0);
+
+}  // namespace ostro::sim

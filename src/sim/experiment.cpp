@@ -1,0 +1,66 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "core/verify.h"
+#include "net/reservation.h"
+
+namespace ostro::sim {
+
+ExperimentMetrics run_experiment(const ExperimentSpec& spec) {
+  if (!spec.make_occupancy || !spec.make_topology) {
+    throw std::invalid_argument("run_experiment: missing factories");
+  }
+  if (spec.runs <= 0) {
+    throw std::invalid_argument("run_experiment: runs must be positive");
+  }
+
+  ExperimentMetrics metrics;
+  const util::Rng root(spec.seed);
+  for (int run = 0; run < spec.runs; ++run) {
+    util::Rng occupancy_rng =
+        root.fork(static_cast<std::uint64_t>(run) * 2);
+    util::Rng topology_rng =
+        root.fork(static_cast<std::uint64_t>(run) * 2 + 1);
+    dc::Occupancy occupancy = spec.make_occupancy(occupancy_rng);
+    const topo::AppTopology topology = spec.make_topology(topology_rng);
+
+    core::SearchConfig config = spec.config;
+    config.seed = spec.seed + static_cast<std::uint64_t>(run);
+    const core::Placement placement = core::place_topology(
+        occupancy, topology, spec.algorithm, config, nullptr, nullptr);
+
+    if (!placement.feasible) {
+      ++metrics.infeasible_runs;
+      if (metrics.first_failure.empty()) {
+        metrics.first_failure = placement.failure_reason;
+      }
+      continue;
+    }
+    // EG_C placements may overcommit links by definition; they are
+    // reported but never verified or committed.
+    if (!placement.bandwidth_overcommitted) {
+      if (spec.verify) {
+        const auto violations =
+            core::verify_placement(occupancy, topology, placement.assignment);
+        if (!violations.empty()) {
+          throw std::runtime_error("run_experiment: invalid placement: " +
+                                   violations.front());
+        }
+      }
+      net::commit_placement(occupancy, topology, placement.assignment);
+    }
+
+    metrics.reserved_bw_gbps.add(placement.reserved_bandwidth_mbps / 1000.0);
+    metrics.new_active_hosts.add(placement.new_active_hosts);
+    metrics.total_active_hosts.add(static_cast<double>(
+        placement.bandwidth_overcommitted
+            ? occupancy.active_host_count() +
+                  static_cast<std::size_t>(placement.new_active_hosts)
+            : occupancy.active_host_count()));
+    metrics.runtime_seconds.add(placement.stats.runtime_seconds);
+  }
+  return metrics;
+}
+
+}  // namespace ostro::sim

@@ -1,0 +1,44 @@
+// Experiment runner shared by the benchmark harness: repeats
+// (preload -> generate workload -> place -> measure) over seeded runs and
+// aggregates the metrics each paper table/figure reports.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/scheduler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ostro::sim {
+
+/// Aggregated metrics over the runs of one experiment cell.
+struct ExperimentMetrics {
+  util::Samples reserved_bw_gbps;   ///< u_bw in Gbps (bw x links)
+  util::Samples new_active_hosts;   ///< u_c
+  util::Samples total_active_hosts; ///< active hosts DC-wide after commit
+  util::Samples runtime_seconds;
+  int infeasible_runs = 0;
+  std::string first_failure;
+};
+
+struct ExperimentSpec {
+  /// Builds the base occupancy for one run (pre-load goes here).
+  std::function<dc::Occupancy(util::Rng&)> make_occupancy;
+  /// Builds the application topology for one run.
+  std::function<topo::AppTopology(util::Rng&)> make_topology;
+  core::Algorithm algorithm = core::Algorithm::kEg;
+  core::SearchConfig config;
+  int runs = 3;
+  std::uint64_t seed = 42;
+  /// Verify every placement with core::verify_placement (throws
+  /// std::runtime_error on violation).  On by default: a benchmark that
+  /// reports numbers from an invalid placement would be meaningless.
+  bool verify = true;
+};
+
+/// Runs the experiment; run r uses rng fork(r) for both occupancy and
+/// topology so different algorithms see identical inputs per run.
+[[nodiscard]] ExperimentMetrics run_experiment(const ExperimentSpec& spec);
+
+}  // namespace ostro::sim

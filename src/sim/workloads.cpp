@@ -1,0 +1,279 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace ostro::sim {
+namespace {
+
+struct VmClass {
+  topo::Resources requirements;
+  double bandwidth_mbps;
+};
+
+// Table III of the paper.
+constexpr VmClass kSmall{{1.0, 1.0, 0.0}, 100.0};
+constexpr VmClass kMedium{{2.0, 2.0, 0.0}, 50.0};
+constexpr VmClass kLarge{{4.0, 4.0, 0.0}, 10.0};
+constexpr VmClass kHomogeneous{{2.0, 2.0, 0.0}, 50.0};
+
+/// Class assignment for `count` VMs in the Table III proportions
+/// (40% / 20% / 40%), shuffled by `rng` in the heterogeneous mix.
+[[nodiscard]] std::vector<VmClass> assign_classes(int count,
+                                                  RequirementMix mix,
+                                                  util::Rng& rng) {
+  std::vector<VmClass> classes;
+  classes.reserve(static_cast<std::size_t>(count));
+  if (mix == RequirementMix::kHomogeneous) {
+    classes.assign(static_cast<std::size_t>(count), kHomogeneous);
+    return classes;
+  }
+  const int small = (count * 40) / 100;
+  const int medium = (count * 20) / 100;
+  for (int i = 0; i < count; ++i) {
+    if (i < small) {
+      classes.push_back(kSmall);
+    } else if (i < small + medium) {
+      classes.push_back(kMedium);
+    } else {
+      classes.push_back(kLarge);
+    }
+  }
+  rng.shuffle(classes);
+  return classes;
+}
+
+}  // namespace
+
+const char* to_string(RequirementMix mix) noexcept {
+  switch (mix) {
+    case RequirementMix::kHeterogeneous: return "heterogeneous";
+    case RequirementMix::kHomogeneous: return "homogeneous";
+  }
+  return "?";
+}
+
+topo::AppTopology make_multitier(int num_vms, RequirementMix mix,
+                                 util::Rng& rng) {
+  constexpr int kTiers = 5;
+  if (num_vms <= 0 || num_vms % kTiers != 0) {
+    throw std::invalid_argument(
+        "make_multitier: num_vms must be a positive multiple of 5");
+  }
+  const int per_tier = num_vms / kTiers;
+
+  topo::TopologyBuilder builder;
+  constexpr std::size_t kTierCount = 5;
+  std::vector<std::vector<topo::NodeId>> tiers(kTierCount);
+  std::vector<std::vector<double>> tier_bw(kTierCount);
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    const auto classes = assign_classes(per_tier, mix, rng);
+    for (int i = 0; i < per_tier; ++i) {
+      const auto& cls = classes[static_cast<std::size_t>(i)];
+      const auto id = builder.add_vm(
+          util::format("tier%zu-vm%d", t, i), cls.requirements);
+      tiers[t].push_back(id);
+      tier_bw[t].push_back(cls.bandwidth_mbps);
+    }
+  }
+
+  // Complete bipartite pipes between adjacent tiers; each pipe carries the
+  // min of the endpoint bandwidth classes.
+  for (std::size_t t = 0; t + 1 < kTierCount; ++t) {
+    for (std::size_t i = 0; i < tiers[t].size(); ++i) {
+      for (std::size_t j = 0; j < tiers[t + 1].size(); ++j) {
+        builder.connect(tiers[t][i], tiers[t + 1][j],
+                        std::min(tier_bw[t][i], tier_bw[t + 1][j]));
+      }
+    }
+  }
+
+  // Each tier is divided into two host-level diversity zones (Section IV-C).
+  for (std::size_t t = 0; t < kTierCount; ++t) {
+    const std::size_t half = tiers[t].size() / 2;
+    if (half >= 2) {
+      builder.add_zone(util::format("tier%zu-dz0", t),
+                       topo::DiversityLevel::kHost,
+                       std::vector<topo::NodeId>(tiers[t].begin(),
+                                                 tiers[t].begin() +
+                                                     static_cast<long>(half)));
+    }
+    if (tiers[t].size() - half >= 2) {
+      builder.add_zone(util::format("tier%zu-dz1", t),
+                       topo::DiversityLevel::kHost,
+                       std::vector<topo::NodeId>(tiers[t].begin() +
+                                                     static_cast<long>(half),
+                                                 tiers[t].end()));
+    }
+  }
+  return builder.build();
+}
+
+topo::AppTopology make_mesh(int num_zones, RequirementMix mix, util::Rng& rng,
+                            double connectivity) {
+  constexpr int kZoneSize = 5;
+  if (num_zones < 2) {
+    throw std::invalid_argument("make_mesh: need at least 2 zones");
+  }
+  if (connectivity < 0.0 || connectivity > 1.0) {
+    throw std::invalid_argument("make_mesh: connectivity out of [0,1]");
+  }
+
+  topo::TopologyBuilder builder;
+  std::vector<std::vector<topo::NodeId>> zones(
+      static_cast<std::size_t>(num_zones));
+  std::vector<std::vector<double>> zone_bw(static_cast<std::size_t>(num_zones));
+  for (int z = 0; z < num_zones; ++z) {
+    const auto classes = assign_classes(kZoneSize, mix, rng);
+    for (int i = 0; i < kZoneSize; ++i) {
+      const auto& cls = classes[static_cast<std::size_t>(i)];
+      const auto id = builder.add_vm(util::format("zone%d-vm%d", z, i),
+                                     cls.requirements);
+      zones[static_cast<std::size_t>(z)].push_back(id);
+      zone_bw[static_cast<std::size_t>(z)].push_back(cls.bandwidth_mbps);
+    }
+    builder.add_zone(util::format("dz%d", z), topo::DiversityLevel::kHost,
+                     zones[static_cast<std::size_t>(z)]);
+  }
+
+  // Each zone links to ~connectivity of the other zones (Section IV-C);
+  // connected zones exchange one pipe per VM position.
+  std::vector<std::vector<bool>> linked(
+      static_cast<std::size_t>(num_zones),
+      std::vector<bool>(static_cast<std::size_t>(num_zones), false));
+  for (int a = 0; a < num_zones; ++a) {
+    const auto k = static_cast<std::size_t>(
+        connectivity * static_cast<double>(num_zones - 1) + 0.5);
+    std::vector<int> others;
+    for (int b = 0; b < num_zones; ++b) {
+      if (b != a) others.push_back(b);
+    }
+    rng.shuffle(others);
+    for (std::size_t i = 0; i < std::min(k, others.size()); ++i) {
+      const int b = others[i];
+      const auto lo = static_cast<std::size_t>(std::min(a, b));
+      const auto hi = static_cast<std::size_t>(std::max(a, b));
+      if (linked[lo][hi]) continue;
+      linked[lo][hi] = true;
+      for (int v = 0; v < kZoneSize; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        builder.connect(zones[lo][vi], zones[hi][vi],
+                        std::min(zone_bw[lo][vi], zone_bw[hi][vi]));
+      }
+    }
+  }
+  return builder.build();
+}
+
+topo::AppTopology make_qfs() {
+  constexpr int kChunkServers = 12;
+  topo::TopologyBuilder builder;
+  // Figure 5: small VM = 2 vCPU / 2 GB, large VM = 4 vCPU / 8 GB.
+  const auto meta = builder.add_vm("meta", {2.0, 2.0, 0.0});
+  const auto client = builder.add_vm("client", {4.0, 8.0, 0.0});
+  std::vector<topo::NodeId> chunk_volumes;
+  for (int i = 0; i < kChunkServers; ++i) {
+    const auto chunk =
+        builder.add_vm(util::format("chunk%d", i), {2.0, 2.0, 0.0});
+    const auto volume =
+        builder.add_volume(util::format("chunk%d-vol", i), 120.0);
+    builder.connect(chunk, volume, 100.0);   // high bandwidth
+    builder.connect(client, chunk, 100.0);   // high bandwidth
+    chunk_volumes.push_back(volume);
+  }
+  builder.connect(client, meta, 10.0);  // low bandwidth
+  const auto meta_vol0 = builder.add_volume("meta-vol0", 10.0);
+  const auto meta_vol1 = builder.add_volume("meta-vol1", 10.0);
+  const auto client_vol = builder.add_volume("client-vol", 10.0);
+  builder.connect(meta, meta_vol0, 10.0);
+  builder.connect(meta, meta_vol1, 10.0);
+  builder.connect(client, client_vol, 10.0);
+  // Reliability: the 12 chunk volumes must sit on 12 separate disks
+  // (= hosts in this model); see DESIGN.md for this reading of Figure 5.
+  builder.add_zone("chunk-volumes", topo::DiversityLevel::kHost,
+                   std::move(chunk_volumes));
+  return builder.build();
+}
+
+topo::AppTopology grow_multitier(const topo::AppTopology& base,
+                                 int num_vms_original, int extra_vms,
+                                 int tier_index, RequirementMix mix,
+                                 util::Rng& rng) {
+  constexpr int kTiers = 5;
+  if (tier_index < 0 || tier_index >= kTiers) {
+    throw std::invalid_argument("grow_multitier: tier_index out of range");
+  }
+  if (extra_vms <= 0) {
+    throw std::invalid_argument("grow_multitier: extra_vms must be positive");
+  }
+  const int per_tier = num_vms_original / kTiers;
+
+  topo::TopologyBuilder builder;
+  // Copy the base topology verbatim; ids are preserved because insertion
+  // order is identical.
+  for (const auto& node : base.nodes()) {
+    if (node.kind == topo::NodeKind::kVm) {
+      builder.add_vm(node.name, node.requirements);
+    } else {
+      builder.add_volume(node.name, node.requirements.disk_gb);
+    }
+  }
+  for (const auto& edge : base.edges()) {
+    builder.connect(edge.a, edge.b, edge.bandwidth_mbps);
+  }
+
+  // New VMs are "small" (Section IV-E adds 10% more small VMs) and connect
+  // to the adjacent tiers exactly like existing members of the tier.
+  (void)mix;
+  std::vector<topo::NodeId> extras;
+  for (int i = 0; i < extra_vms; ++i) {
+    extras.push_back(builder.add_vm(
+        util::format("tier%d-extra%d", tier_index, i), kSmall.requirements));
+  }
+  const auto tier_of = [per_tier](topo::NodeId id) {
+    return static_cast<int>(id) / per_tier;
+  };
+  // Each extra talks to the first half of each adjacent tier — a scale-out
+  // instance typically peers with a subset, and this keeps the delta small
+  // enough that the Section IV-E incremental re-placement stays feasible on
+  // a loaded fabric.
+  for (const auto extra : extras) {
+    for (const auto& node : base.nodes()) {
+      const int t = tier_of(node.id);
+      const int position = static_cast<int>(node.id) % per_tier;
+      if ((t == tier_index - 1 || t == tier_index + 1) &&
+          position < (per_tier + 1) / 2) {
+        // Pipe bandwidth: min of the small class and the neighbor's class,
+        // recovered from the neighbor's strongest incident pipe.
+        double nbr_bw = kSmall.bandwidth_mbps;
+        for (const auto& nb : base.neighbors(node.id)) {
+          nbr_bw = std::max(nbr_bw, nb.bandwidth_mbps);
+        }
+        builder.connect(extra, node.id,
+                        std::min(kSmall.bandwidth_mbps, nbr_bw));
+      }
+    }
+  }
+
+  // Copy zones, spreading the new VMs across the grown tier's two zones.
+  for (const auto& zone : base.zones()) {
+    std::vector<topo::NodeId> members = zone.members;
+    const bool grown_tier_zone =
+        zone.name == util::format("tier%d-dz0", tier_index) ||
+        zone.name == util::format("tier%d-dz1", tier_index);
+    if (grown_tier_zone) {
+      const bool first = zone.name.back() == '0';
+      for (std::size_t i = 0; i < extras.size(); ++i) {
+        if ((i % 2 == 0) == first) members.push_back(extras[i]);
+      }
+    }
+    builder.add_zone(zone.name, zone.level, std::move(members));
+  }
+  (void)rng;
+  return builder.build();
+}
+
+}  // namespace ostro::sim

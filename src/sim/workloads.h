@@ -1,0 +1,60 @@
+// Workload generators reproducing the application topologies of the paper's
+// evaluation (Section IV):
+//
+//  * multi-tier (Figure 2 left, Section IV-C): 5 tiers of equal size,
+//    complete bipartite pipes between adjacent tiers, every tier split into
+//    two host-level diversity zones;
+//  * mesh communication (Figure 2 right): disjoint 5-VM host-level
+//    diversity zones, ~80% of zone pairs connected, aligned one-pipe-per-
+//    VM-position between connected zones;
+//  * the QFS cloud-storage application of the testbed experiments
+//    (Figure 5): 1 meta server, 1 client, 12 chunk servers, 15 volumes.
+//
+// Resource requirements follow Table III (heterogeneous: 40% small/20%
+// medium/40% large VMs) or the homogeneous setting (all 2 vCPU / 2 GB /
+// 50 Mbps); pipes carry the min of the endpoint VMs' bandwidth classes.
+#pragma once
+
+#include "topology/app_topology.h"
+#include "util/rng.h"
+
+namespace ostro::sim {
+
+enum class RequirementMix : std::uint8_t {
+  kHeterogeneous,  ///< Table III mix
+  kHomogeneous,    ///< all VMs 2 vCPU, 2 GB, 50 Mbps
+};
+
+[[nodiscard]] const char* to_string(RequirementMix mix) noexcept;
+
+/// 5-tier application with `num_vms` total VMs (must be a positive multiple
+/// of 5).  Tier sizes num_vms/5 each; class assignment within a tier is
+/// shuffled by `rng` in the heterogeneous mix.
+[[nodiscard]] topo::AppTopology make_multitier(int num_vms, RequirementMix mix,
+                                               util::Rng& rng);
+
+/// Mesh application with `num_zones` disjoint 5-VM diversity zones
+/// (num_zones >= 2).  Each zone links to ~`connectivity` (default 0.8) of
+/// the other zones, chosen by `rng`.
+[[nodiscard]] topo::AppTopology make_mesh(int num_zones, RequirementMix mix,
+                                          util::Rng& rng,
+                                          double connectivity = 0.8);
+
+/// The QFS application topology of Figure 5: meta server (small VM),
+/// client (large VM), 12 chunk servers (small VMs) each with a 120 GB
+/// volume at 100 Mbps, 100 Mbps client-chunk pipes, 10 Mbps client-meta
+/// pipe, and three 10 GB bookkeeping volumes.  The 12 chunk volumes form a
+/// host-level diversity zone ("12 disk volumes on 12 separate disks").
+[[nodiscard]] topo::AppTopology make_qfs();
+
+/// Grows a multi-tier topology by `extra_vms` small VMs appended to tier
+/// `tier_index` (0-based), reproducing the online-adaptation scenario of
+/// Section IV-E.  Existing node ids (and therefore any saved assignment)
+/// are preserved as a prefix of the result.
+[[nodiscard]] topo::AppTopology grow_multitier(const topo::AppTopology& base,
+                                               int num_vms_original,
+                                               int extra_vms, int tier_index,
+                                               RequirementMix mix,
+                                               util::Rng& rng);
+
+}  // namespace ostro::sim

@@ -1,0 +1,305 @@
+#include "topology/app_topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ostro::topo {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kVm: return "vm";
+    case NodeKind::kVolume: return "volume";
+  }
+  return "?";
+}
+
+const char* to_string(DiversityLevel level) noexcept {
+  switch (level) {
+    case DiversityLevel::kHost: return "host";
+    case DiversityLevel::kRack: return "rack";
+    case DiversityLevel::kPod: return "pod";
+    case DiversityLevel::kDatacenter: return "datacenter";
+  }
+  return "?";
+}
+
+NodeId Edge::other(NodeId node) const {
+  if (node == a) return b;
+  if (node == b) return a;
+  throw std::invalid_argument("Edge::other: node is not an endpoint");
+}
+
+const Node& AppTopology::node(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("AppTopology::node: bad id");
+  }
+  return nodes_[id];
+}
+
+NodeId AppTopology::node_id(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    throw std::out_of_range("AppTopology::node_id: unknown node " + name);
+  }
+  return it->second;
+}
+
+std::optional<NodeId> AppTopology::find_node(const std::string& name) const noexcept {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const Neighbor> AppTopology::neighbors(NodeId id) const {
+  if (id >= adjacency_.size()) {
+    throw std::out_of_range("AppTopology::neighbors: bad id");
+  }
+  return adjacency_[id];
+}
+
+std::span<const std::uint32_t> AppTopology::zones_of(NodeId id) const {
+  if (id >= node_zones_.size()) {
+    throw std::out_of_range("AppTopology::zones_of: bad id");
+  }
+  return node_zones_[id];
+}
+
+std::span<const std::uint32_t> AppTopology::affinities_of(NodeId id) const {
+  if (id >= node_affinities_.size()) {
+    throw std::out_of_range("AppTopology::affinities_of: bad id");
+  }
+  return node_affinities_[id];
+}
+
+double AppTopology::total_edge_bandwidth() const noexcept {
+  double total = 0.0;
+  for (const auto& edge : edges_) total += edge.bandwidth_mbps;
+  return total;
+}
+
+Resources AppTopology::total_requirements() const noexcept {
+  Resources total;
+  for (const auto& n : nodes_) total += n.requirements;
+  return total;
+}
+
+double AppTopology::incident_bandwidth(NodeId id) const {
+  double total = 0.0;
+  for (const auto& nb : neighbors(id)) total += nb.bandwidth_mbps;
+  return total;
+}
+
+std::optional<DiversityLevel> AppTopology::required_separation(NodeId a,
+                                                               NodeId b) const {
+  if (a == b) return std::nullopt;
+  std::optional<DiversityLevel> strongest;
+  for (const auto zone_index : zones_of(a)) {
+    const auto& zone = zones_[zone_index];
+    const bool b_member =
+        std::find(zone.members.begin(), zone.members.end(), b) !=
+        zone.members.end();
+    if (!b_member) continue;
+    if (!strongest || zone.level > *strongest) strongest = zone.level;
+  }
+  return strongest;
+}
+
+bool AppTopology::must_separate(NodeId a, NodeId b) const {
+  return required_separation(a, b).has_value();
+}
+
+void AppTopology::build_indexes() {
+  name_index_.clear();
+  for (const auto& n : nodes_) name_index_[n.name] = n.id;
+
+  adjacency_.assign(nodes_.size(), {});
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    const Edge& edge = edges_[e];
+    adjacency_[edge.a].push_back({edge.b, edge.bandwidth_mbps, e});
+    adjacency_[edge.b].push_back({edge.a, edge.bandwidth_mbps, e});
+  }
+
+  node_zones_.assign(nodes_.size(), {});
+  for (std::uint32_t z = 0; z < zones_.size(); ++z) {
+    for (const NodeId member : zones_[z].members) {
+      node_zones_[member].push_back(z);
+    }
+  }
+
+  node_affinities_.assign(nodes_.size(), {});
+  for (std::uint32_t g = 0; g < affinities_.size(); ++g) {
+    for (const NodeId member : affinities_[g].members) {
+      node_affinities_[member].push_back(g);
+    }
+  }
+}
+
+NodeId TopologyBuilder::add_node(const std::string& name, NodeKind kind,
+                                 const Resources& requirements) {
+  if (name.empty()) {
+    throw std::invalid_argument("TopologyBuilder: empty node name");
+  }
+  if (names_.count(name) != 0) {
+    throw std::invalid_argument("TopologyBuilder: duplicate node name " + name);
+  }
+  require_nonnegative(requirements, "node " + name);
+  const auto id = static_cast<NodeId>(topology_.nodes_.size());
+  topology_.nodes_.push_back(Node{id, name, kind, requirements, {}});
+  names_[name] = id;
+  return id;
+}
+
+NodeId TopologyBuilder::add_vm(const std::string& name,
+                               const Resources& requirements) {
+  return add_node(name, NodeKind::kVm, requirements);
+}
+
+NodeId TopologyBuilder::add_volume(const std::string& name, double size_gb) {
+  if (size_gb <= 0.0) {
+    throw std::invalid_argument("TopologyBuilder: volume " + name +
+                                " must have positive size");
+  }
+  return add_node(name, NodeKind::kVolume, Resources{0.0, 0.0, size_gb});
+}
+
+NodeId TopologyBuilder::resolve(const std::string& name) const {
+  const auto it = names_.find(name);
+  if (it == names_.end()) {
+    throw std::invalid_argument("TopologyBuilder: unknown node " + name);
+  }
+  return it->second;
+}
+
+TopologyBuilder& TopologyBuilder::connect(const std::string& a,
+                                          const std::string& b,
+                                          double bandwidth_mbps,
+                                          double max_latency_us) {
+  return connect(resolve(a), resolve(b), bandwidth_mbps, max_latency_us);
+}
+
+TopologyBuilder& TopologyBuilder::connect(NodeId a, NodeId b,
+                                          double bandwidth_mbps,
+                                          double max_latency_us) {
+  const auto count = topology_.nodes_.size();
+  if (a >= count || b >= count) {
+    throw std::invalid_argument("TopologyBuilder::connect: bad node id");
+  }
+  if (a == b) {
+    throw std::invalid_argument("TopologyBuilder::connect: self-pipe on " +
+                                topology_.nodes_[a].name);
+  }
+  if (bandwidth_mbps <= 0.0) {
+    throw std::invalid_argument(
+        "TopologyBuilder::connect: bandwidth must be positive");
+  }
+  if (topology_.nodes_[a].kind == NodeKind::kVolume &&
+      topology_.nodes_[b].kind == NodeKind::kVolume) {
+    throw std::invalid_argument(
+        "TopologyBuilder::connect: volume-to-volume pipes are not allowed");
+  }
+  if (max_latency_us < 0.0) {
+    throw std::invalid_argument(
+        "TopologyBuilder::connect: negative latency budget");
+  }
+  topology_.edges_.push_back(Edge{a, b, bandwidth_mbps, max_latency_us});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_zone(
+    const std::string& name, DiversityLevel level,
+    const std::vector<std::string>& members) {
+  std::vector<NodeId> ids;
+  ids.reserve(members.size());
+  for (const auto& member : members) ids.push_back(resolve(member));
+  return add_zone(name, level, std::move(ids));
+}
+
+TopologyBuilder& TopologyBuilder::add_zone(const std::string& name,
+                                           DiversityLevel level,
+                                           std::vector<NodeId> members) {
+  if (name.empty()) {
+    throw std::invalid_argument("TopologyBuilder: empty zone name");
+  }
+  if (members.size() < 2) {
+    throw std::invalid_argument("TopologyBuilder: zone " + name +
+                                " needs at least 2 members");
+  }
+  std::unordered_set<NodeId> seen;
+  for (const NodeId member : members) {
+    if (member >= topology_.nodes_.size()) {
+      throw std::invalid_argument("TopologyBuilder: zone " + name +
+                                  " has invalid member id");
+    }
+    if (!seen.insert(member).second) {
+      throw std::invalid_argument("TopologyBuilder: zone " + name +
+                                  " has duplicate member " +
+                                  topology_.nodes_[member].name);
+    }
+  }
+  topology_.zones_.push_back(DiversityZone{name, level, std::move(members)});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_affinity(
+    const std::string& name, DiversityLevel level,
+    const std::vector<std::string>& members) {
+  std::vector<NodeId> ids;
+  ids.reserve(members.size());
+  for (const auto& member : members) ids.push_back(resolve(member));
+  return add_affinity(name, level, std::move(ids));
+}
+
+TopologyBuilder& TopologyBuilder::add_affinity(const std::string& name,
+                                               DiversityLevel level,
+                                               std::vector<NodeId> members) {
+  if (name.empty()) {
+    throw std::invalid_argument("TopologyBuilder: empty affinity name");
+  }
+  if (members.size() < 2) {
+    throw std::invalid_argument("TopologyBuilder: affinity " + name +
+                                " needs at least 2 members");
+  }
+  std::unordered_set<NodeId> seen;
+  for (const NodeId member : members) {
+    if (member >= topology_.nodes_.size()) {
+      throw std::invalid_argument("TopologyBuilder: affinity " + name +
+                                  " has invalid member id");
+    }
+    if (!seen.insert(member).second) {
+      throw std::invalid_argument("TopologyBuilder: affinity " + name +
+                                  " has duplicate member " +
+                                  topology_.nodes_[member].name);
+    }
+  }
+  topology_.affinities_.push_back(AffinityGroup{name, level,
+                                                std::move(members)});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::require_tags(const std::string& node,
+                                               std::vector<std::string> tags) {
+  const NodeId id = resolve(node);
+  for (const auto& tag : tags) {
+    if (tag.empty()) {
+      throw std::invalid_argument("TopologyBuilder: empty tag on " + node);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  topology_.nodes_[id].required_tags = std::move(tags);
+  return *this;
+}
+
+AppTopology TopologyBuilder::build() {
+  if (topology_.nodes_.empty()) {
+    throw std::invalid_argument("TopologyBuilder::build: no nodes");
+  }
+  AppTopology out = std::move(topology_);
+  topology_ = AppTopology{};
+  names_.clear();
+  out.build_indexes();
+  return out;
+}
+
+}  // namespace ostro::topo

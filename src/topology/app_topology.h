@@ -1,0 +1,211 @@
+// Application topology T_a = <V, E> (Section II-A-1 of the paper).
+//
+// Nodes are VMs or disk volumes with resource requirements; edges are
+// network pipes with a bandwidth requirement; diversity zones express
+// anti-affinity at a chosen level of the data-center hierarchy
+// (Section II-B-2).  AppTopology is an immutable value built through
+// TopologyBuilder, which validates all invariants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/resources.h"
+
+namespace ostro::topo {
+
+/// Index into AppTopology::nodes().
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : std::uint8_t { kVm, kVolume };
+
+[[nodiscard]] const char* to_string(NodeKind kind) noexcept;
+
+/// Separation level of a diversity zone: members must be placed on pairwise
+/// different <level>s.  Ordered weakest (host) to strongest (datacenter).
+enum class DiversityLevel : std::uint8_t {
+  kHost = 0,
+  kRack = 1,
+  kPod = 2,
+  kDatacenter = 3,
+};
+
+[[nodiscard]] const char* to_string(DiversityLevel level) noexcept;
+
+/// One VM or volume of the application.
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  NodeKind kind = NodeKind::kVm;
+  Resources requirements;
+  /// Hardware-affinity tags: the node may only land on hosts that carry
+  /// every one of these tags (e.g. "ssd", "sriov", "gpu").  Sorted.
+  std::vector<std::string> required_tags;
+};
+
+/// Undirected network pipe between two nodes (VM-VM or VM-volume).
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double bandwidth_mbps = 0.0;
+  /// Maximum one-way latency the pipe tolerates, in microseconds; 0 means
+  /// unconstrained.  Latency requirements on communication links are the
+  /// first item of the paper's future work (Section VI); the data center
+  /// model prices each separation scope with a latency (see
+  /// dc::DataCenter::scope_latency_us) and the placement engine rejects
+  /// hosts whose separation would exceed this budget.
+  double max_latency_us = 0.0;
+
+  /// The endpoint that is not `node`; `node` must be an endpoint.
+  [[nodiscard]] NodeId other(NodeId node) const;
+};
+
+/// Anti-affinity group: members must land on distinct units at `level`.
+struct DiversityZone {
+  std::string name;
+  DiversityLevel level = DiversityLevel::kHost;
+  std::vector<NodeId> members;
+};
+
+/// Affinity group: members must land on the SAME unit at `level` (all on
+/// one host, in one rack, ...).  The paper's introduction lists "specific
+/// hardware or software affinities for VMs and disk volumes" among the
+/// application-topology properties.
+struct AffinityGroup {
+  std::string name;
+  DiversityLevel level = DiversityLevel::kHost;
+  std::vector<NodeId> members;
+};
+
+/// Neighbor view entry: adjacent node plus connecting pipe bandwidth.
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  double bandwidth_mbps = 0.0;
+  std::uint32_t edge_index = 0;
+};
+
+class AppTopology {
+ public:
+  AppTopology() = default;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<DiversityZone>& zones() const noexcept {
+    return zones_;
+  }
+  [[nodiscard]] const std::vector<AffinityGroup>& affinities() const noexcept {
+    return affinities_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  /// Throws std::out_of_range when no node has `name`.
+  [[nodiscard]] NodeId node_id(const std::string& name) const;
+  [[nodiscard]] std::optional<NodeId> find_node(const std::string& name) const noexcept;
+
+  /// Pipes incident to `id`.
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId id) const;
+
+  /// Indices into zones() that contain `id`.
+  [[nodiscard]] std::span<const std::uint32_t> zones_of(NodeId id) const;
+
+  /// Indices into affinities() that contain `id`.
+  [[nodiscard]] std::span<const std::uint32_t> affinities_of(NodeId id) const;
+
+  /// Sum of all pipe bandwidths (Mbps); the basis of the û_bw normalizer.
+  [[nodiscard]] double total_edge_bandwidth() const noexcept;
+  /// Sum of node requirements.
+  [[nodiscard]] Resources total_requirements() const noexcept;
+  /// Sum of pipe bandwidth incident to `id` (Mbps).
+  [[nodiscard]] double incident_bandwidth(NodeId id) const;
+
+  /// True when the two nodes share a zone whose level forces them onto
+  /// different hosts (or stronger) — i.e. they can never be co-located.
+  [[nodiscard]] bool must_separate(NodeId a, NodeId b) const;
+  /// Strongest separation level any shared zone forces between a and b, or
+  /// nullopt when none does.
+  [[nodiscard]] std::optional<DiversityLevel> required_separation(NodeId a,
+                                                                  NodeId b) const;
+
+ private:
+  friend class TopologyBuilder;
+
+  void build_indexes();
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<DiversityZone> zones_;
+  std::vector<AffinityGroup> affinities_;
+
+  // Derived indexes (built once by TopologyBuilder::build).
+  std::unordered_map<std::string, NodeId> name_index_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<std::vector<std::uint32_t>> node_zones_;
+  std::vector<std::vector<std::uint32_t>> node_affinities_;
+};
+
+/// Fluent construction with full validation at build().
+///
+///   auto topo = TopologyBuilder()
+///       .add_vm("web0", {2, 2, 0})
+///       .add_volume("data0", 120)
+///       .connect("web0", "data0", 100)
+///       .add_zone("replicas", DiversityLevel::kRack, {"web0"})
+///       .build();
+class TopologyBuilder {
+ public:
+  /// Adds a VM node; returns its id. Name must be unique and non-empty.
+  NodeId add_vm(const std::string& name, const Resources& requirements);
+  /// Adds a volume node of `size_gb` GiB.
+  NodeId add_volume(const std::string& name, double size_gb);
+
+  /// Adds an undirected pipe; both by-name and by-id forms.
+  /// `max_latency_us` = 0 leaves the pipe latency-unconstrained.
+  TopologyBuilder& connect(const std::string& a, const std::string& b,
+                           double bandwidth_mbps, double max_latency_us = 0.0);
+  TopologyBuilder& connect(NodeId a, NodeId b, double bandwidth_mbps,
+                           double max_latency_us = 0.0);
+
+  /// Declares a diversity zone over named or id'd members.
+  TopologyBuilder& add_zone(const std::string& name, DiversityLevel level,
+                            const std::vector<std::string>& members);
+  TopologyBuilder& add_zone(const std::string& name, DiversityLevel level,
+                            std::vector<NodeId> members);
+
+  /// Declares an affinity group: members co-located at `level`.
+  TopologyBuilder& add_affinity(const std::string& name, DiversityLevel level,
+                                const std::vector<std::string>& members);
+  TopologyBuilder& add_affinity(const std::string& name, DiversityLevel level,
+                                std::vector<NodeId> members);
+
+  /// Requires `node` to be placed on hosts carrying all of `tags`.
+  TopologyBuilder& require_tags(const std::string& node,
+                                std::vector<std::string> tags);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return topology_.nodes_.size();
+  }
+
+  /// Validates all invariants and returns the finished topology:
+  /// unique names, valid endpoints, no self-pipes, positive bandwidth,
+  /// non-negative requirements, zones with >= 2 valid distinct members.
+  /// The builder is left empty.
+  [[nodiscard]] AppTopology build();
+
+ private:
+  NodeId add_node(const std::string& name, NodeKind kind,
+                  const Resources& requirements);
+  [[nodiscard]] NodeId resolve(const std::string& name) const;
+
+  AppTopology topology_;
+  std::unordered_map<std::string, NodeId> names_;
+};
+
+}  // namespace ostro::topo

@@ -1,0 +1,18 @@
+#include "topology/resources.h"
+
+#include "util/string_util.h"
+
+namespace ostro::topo {
+
+std::string Resources::to_string() const {
+  return util::format("{vcpus=%g, mem=%gGiB, disk=%gGiB}", vcpus, mem_gb,
+                      disk_gb);
+}
+
+void require_nonnegative(const Resources& r, const std::string& what) {
+  if (!r.is_nonnegative()) {
+    throw std::invalid_argument(what + ": negative resource " + r.to_string());
+  }
+}
+
+}  // namespace ostro::topo

@@ -1,0 +1,64 @@
+// Resource vectors shared by application topologies (requirements) and the
+// data-center model (capacities).
+//
+// The paper's capacity constraints (Section II-B-2) cover CPU, memory and
+// disk per node plus network bandwidth per edge; bandwidth is kept separate
+// because it is consumed on links, not on hosts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ostro::topo {
+
+/// CPU / memory / disk triple.  Units: vCPUs (fractional allowed for
+/// best-effort shares), GiB, GiB.
+struct Resources {
+  double vcpus = 0.0;
+  double mem_gb = 0.0;
+  double disk_gb = 0.0;
+
+  [[nodiscard]] constexpr Resources operator+(const Resources& o) const noexcept {
+    return {vcpus + o.vcpus, mem_gb + o.mem_gb, disk_gb + o.disk_gb};
+  }
+  [[nodiscard]] constexpr Resources operator-(const Resources& o) const noexcept {
+    return {vcpus - o.vcpus, mem_gb - o.mem_gb, disk_gb - o.disk_gb};
+  }
+  Resources& operator+=(const Resources& o) noexcept {
+    vcpus += o.vcpus;
+    mem_gb += o.mem_gb;
+    disk_gb += o.disk_gb;
+    return *this;
+  }
+  Resources& operator-=(const Resources& o) noexcept {
+    vcpus -= o.vcpus;
+    mem_gb -= o.mem_gb;
+    disk_gb -= o.disk_gb;
+    return *this;
+  }
+
+  /// True when every component of this requirement fits in `capacity`.
+  /// A small epsilon absorbs floating-point accumulation error.
+  [[nodiscard]] constexpr bool fits_within(const Resources& capacity) const noexcept {
+    constexpr double kEps = 1e-9;
+    return vcpus <= capacity.vcpus + kEps && mem_gb <= capacity.mem_gb + kEps &&
+           disk_gb <= capacity.disk_gb + kEps;
+  }
+
+  [[nodiscard]] constexpr bool is_nonnegative() const noexcept {
+    return vcpus >= 0.0 && mem_gb >= 0.0 && disk_gb >= 0.0;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    return vcpus == 0.0 && mem_gb == 0.0 && disk_gb == 0.0;
+  }
+
+  friend constexpr bool operator==(const Resources&, const Resources&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Throws std::invalid_argument unless all components are non-negative.
+void require_nonnegative(const Resources& r, const std::string& what);
+
+}  // namespace ostro::topo

@@ -1,0 +1,165 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ostro::util {
+
+ArgParser::Option& ArgParser::declare(const std::string& name, Kind kind,
+                                      const std::string& help) {
+  if (options_.count(name) != 0) {
+    throw std::logic_error("ArgParser: duplicate option --" + name);
+  }
+  order_.push_back(name);
+  Option& option = options_[name];
+  option.kind = kind;
+  option.help = help;
+  return option;
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  declare(name, Kind::kFlag, help);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  declare(name, Kind::kInt, help).int_value = default_value;
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  declare(name, Kind::kDouble, help).double_value = default_value;
+}
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           const std::string& help) {
+  declare(name, Kind::kString, help).string_value = std::move(default_value);
+}
+
+void ArgParser::assign(Option& option, const std::string& name,
+                       std::string_view value) {
+  try {
+    switch (option.kind) {
+      case Kind::kFlag:
+        throw std::invalid_argument("--" + name + " takes no value");
+      case Kind::kInt: {
+        std::size_t consumed = 0;
+        option.int_value = std::stoll(std::string(value), &consumed);
+        if (consumed != value.size()) throw std::invalid_argument("junk");
+        break;
+      }
+      case Kind::kDouble: {
+        std::size_t consumed = 0;
+        option.double_value = std::stod(std::string(value), &consumed);
+        if (consumed != value.size()) throw std::invalid_argument("junk");
+        break;
+      }
+      case Kind::kString:
+        option.string_value = std::string(value);
+        break;
+    }
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("invalid value for --" + name + ": " +
+                                std::string(value));
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("value out of range for --" + name + ": " +
+                                std::string(value));
+  }
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string name;
+    std::optional<std::string> inline_value;
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(2, eq - 2));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg.substr(2));
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option --" + name + "\n" + usage());
+    }
+    Option& option = it->second;
+    if (option.kind == Kind::kFlag) {
+      if (inline_value) {
+        throw std::invalid_argument("--" + name + " takes no value");
+      }
+      option.flag_value = true;
+      continue;
+    }
+    if (inline_value) {
+      assign(option, name, *inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--" + name + " requires a value");
+      }
+      assign(option, name, argv[++i]);
+    }
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::lookup(const std::string& name,
+                                           Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::logic_error("ArgParser: undeclared option --" + name);
+  }
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  return lookup(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return lookup(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return lookup(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).string_value;
+}
+
+std::string ArgParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& option = options_.at(name);
+    std::string default_text;
+    switch (option.kind) {
+      case Kind::kFlag: default_text = ""; break;
+      case Kind::kInt:
+        default_text = " (default: " + std::to_string(option.int_value) + ")";
+        break;
+      case Kind::kDouble:
+        default_text = format(" (default: %g)", option.double_value);
+        break;
+      case Kind::kString:
+        default_text = " (default: \"" + option.string_value + "\")";
+        break;
+    }
+    out += format("  --%-20s %s%s\n", name.c_str(), option.help.c_str(),
+                  default_text.c_str());
+  }
+  out += "  --help                 show this message\n";
+  return out;
+}
+
+}  // namespace ostro::util

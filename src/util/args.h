@@ -1,0 +1,70 @@
+// Declarative CLI argument parser for the examples and benchmark binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms, typed
+// defaults, and generated --help text.  Unknown options are an error so that
+// typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ostro::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declares options; must happen before parse().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) when --help was
+  /// requested; throws std::invalid_argument on malformed input.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Option& declare(const std::string& name, Kind kind, const std::string& help);
+  [[nodiscard]] const Option& lookup(const std::string& name, Kind kind) const;
+  void assign(Option& option, const std::string& name,
+              std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ostro::util

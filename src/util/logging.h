@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The scheduler runs inside benchmarks and tests where stdout is the data
+// channel, so logging goes to stderr and is off (Warn) by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ostro::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component,
+              const std::string& message);
+}
+
+/// Stream-style log statement:  Log(LogLevel::kInfo, "core") << "msg " << x;
+/// The line is emitted (with level tag, component and timestamp) when the
+/// temporary is destroyed.
+class Log {
+ public:
+  Log(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (level_ >= log_level()) {
+      detail::log_line(level_, component_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ostro::util

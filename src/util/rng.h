@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in this repository (workload generation,
+// non-uniform availability, DBA* pruning decisions) flows through Rng so
+// that a fixed seed reproduces a run bit-for-bit.  The generator is
+// xoshiro256** seeded via splitmix64, which is fast, has a 2^256-1 period,
+// and passes BigCrush; <random> engines are avoided because their streams
+// are not portable across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ostro::util {
+
+/// splitmix64 step; used to expand a 64-bit seed into generator state and as
+/// a standalone mixing function for hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic random source (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection sampling (Lemire) to avoid modulo bias.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Uniformly chosen element. Throws std::invalid_argument when empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Samples `k` distinct indices from [0, n) in selection order.
+  /// Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+  /// Derives an independent child generator; stream `i` is stable for a
+  /// given parent seed (used to give each simulation run its own stream).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ostro::util

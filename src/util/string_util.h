@@ -1,0 +1,30 @@
+// Small string helpers shared by parsers and the CLI layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ostro::util {
+
+/// Splits on `sep`; empty fields are kept ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a comma-separated list of integers ("25,50,75"); throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<int> parse_int_list(std::string_view text);
+
+}  // namespace ostro::util

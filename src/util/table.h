@@ -1,0 +1,34 @@
+// ASCII table / CSV emitter used by the benchmark harness to print the rows
+// and series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ostro::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `decimals` digits.
+  [[nodiscard]] static std::string cell(double value, int decimals = 2);
+  [[nodiscard]] static std::string cell(std::int64_t value);
+
+  /// Column-aligned fixed-width rendering with a header rule.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ostro::util

@@ -1,0 +1,62 @@
+// Wall-clock timing and deadlines.
+//
+// DBA* (Section III-C of the paper) is driven by a wall-clock deadline T;
+// Deadline encapsulates the "time left" bookkeeping it performs.
+#pragma once
+
+#include <chrono>
+
+namespace ostro::util {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A wall-clock budget of `budget_seconds` starting at construction.
+/// A non-positive budget means "no deadline" (never expires).
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) noexcept
+      : budget_(budget_seconds) {}
+
+  [[nodiscard]] static Deadline unlimited() noexcept { return Deadline(0.0); }
+
+  [[nodiscard]] bool is_unlimited() const noexcept { return budget_ <= 0.0; }
+  [[nodiscard]] double budget_seconds() const noexcept { return budget_; }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return timer_.elapsed_seconds();
+  }
+
+  /// Seconds remaining; a large positive number when unlimited, clamped at 0.
+  [[nodiscard]] double remaining_seconds() const noexcept {
+    if (is_unlimited()) return 1e18;
+    const double left = budget_ - timer_.elapsed_seconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return !is_unlimited() && timer_.elapsed_seconds() >= budget_;
+  }
+
+ private:
+  double budget_;
+  WallTimer timer_;
+};
+
+}  // namespace ostro::util

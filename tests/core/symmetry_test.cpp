@@ -1,0 +1,124 @@
+#include "core/symmetry.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "sim/workloads.h"
+
+namespace ostro::core {
+namespace {
+
+TEST(SymmetryTest, IdenticalUnconnectedVmsShareGroup) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {2.0, 2.0, 0.0});
+  builder.add_vm("b", {2.0, 2.0, 0.0});
+  builder.add_vm("c", {4.0, 4.0, 0.0});
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_EQ(groups.group_of[0], groups.group_of[1]);
+  EXPECT_NE(groups.group_of[0], groups.group_of[2]);
+  EXPECT_EQ(groups.nontrivial_groups, 1u);
+}
+
+TEST(SymmetryTest, DifferentRequirementsSplit) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {2.0, 2.0, 0.0});
+  builder.add_vm("b", {2.0, 4.0, 0.0});
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_NE(groups.group_of[0], groups.group_of[1]);
+}
+
+TEST(SymmetryTest, ZoneMembershipMustMatch) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {2.0, 2.0, 0.0});
+  builder.add_vm("b", {2.0, 2.0, 0.0});
+  builder.add_vm("c", {2.0, 2.0, 0.0});
+  builder.add_zone("z", topo::DiversityLevel::kHost,
+                   std::vector<std::string>{"a", "b"});
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_EQ(groups.group_of[0], groups.group_of[1]);  // both in z
+  EXPECT_NE(groups.group_of[0], groups.group_of[2]);  // c is not
+}
+
+TEST(SymmetryTest, NeighborBandwidthMustMatch) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  builder.add_vm("hub", {2.0, 2.0, 0.0});
+  builder.connect("a", "hub", 100.0);
+  builder.connect("b", "hub", 50.0);  // different bandwidth
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_NE(groups.group_of[0], groups.group_of[1]);
+}
+
+TEST(SymmetryTest, EqualFanInMakesTwins) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  builder.add_vm("hub", {2.0, 2.0, 0.0});
+  builder.connect("a", "hub", 100.0);
+  builder.connect("b", "hub", 100.0);
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_EQ(groups.group_of[0], groups.group_of[1]);
+}
+
+TEST(SymmetryTest, AdjacentTwinsDetected) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  builder.add_vm("x", {2.0, 2.0, 0.0});
+  builder.connect("a", "b", 10.0);   // mutual pipe
+  builder.connect("a", "x", 20.0);
+  builder.connect("b", "x", 20.0);
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_EQ(groups.group_of[0], groups.group_of[1]);
+}
+
+TEST(SymmetryTest, NonTransitiveCaseStaysSound) {
+  // r and m are adjacent twins; v matches r's neighborhood but not m's.
+  // A group containing all three would be unsound.
+  topo::TopologyBuilder builder;
+  builder.add_vm("r", {1.0, 1.0, 0.0});
+  builder.add_vm("m", {1.0, 1.0, 0.0});
+  builder.add_vm("v", {1.0, 1.0, 0.0});
+  builder.add_vm("x", {2.0, 2.0, 0.0});
+  builder.connect("r", "m", 10.0);
+  builder.connect("r", "x", 20.0);
+  builder.connect("m", "x", 20.0);
+  builder.connect("v", "x", 20.0);
+  builder.connect("v", "m", 10.0);
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  // r~m? N(r)\{m} = {x:20}; N(m)\{r} = {x:20, v:10} -> no.
+  // r~v? N(r)\{v} = {m:10, x:20}; N(v)\{r} = {x:20, m:10} -> yes.
+  EXPECT_EQ(groups.group_of[0], groups.group_of[2]);
+  EXPECT_NE(groups.group_of[0], groups.group_of[1]);
+}
+
+TEST(SymmetryTest, MultitierTiersContainInterchangeableNodes) {
+  util::Rng rng(1);
+  const auto app =
+      sim::make_multitier(25, sim::RequirementMix::kHomogeneous, rng);
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  // Homogeneous complete-bipartite tiers: members of the same tier-zone are
+  // interchangeable (5 per tier, split 2/3 across two zones).
+  EXPECT_GT(groups.nontrivial_groups, 0u);
+  EXPECT_LT(groups.group_count, app.node_count());
+}
+
+TEST(SymmetryTest, VolumesAndVmsNeverMix) {
+  topo::TopologyBuilder builder;
+  builder.add_vm("vm", {0.0, 0.0, 10.0});
+  builder.add_volume("vol", 10.0);
+  const auto app = builder.build();
+  const SymmetryGroups groups = detect_symmetry_groups(app);
+  EXPECT_NE(groups.group_of[0], groups.group_of[1]);
+}
+
+}  // namespace
+}  // namespace ostro::core

@@ -1,0 +1,124 @@
+#include "datacenter/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace ostro::dc {
+namespace {
+
+using ostro::testing::small_dc;
+
+TEST(OccupancyTest, StartsIdleAndEmpty) {
+  const DataCenter dc = small_dc();
+  const Occupancy occupancy(dc);
+  EXPECT_EQ(occupancy.active_host_count(), 0u);
+  EXPECT_FALSE(occupancy.is_active(0));
+  EXPECT_EQ(occupancy.available(0), dc.host(0).capacity);
+  EXPECT_DOUBLE_EQ(occupancy.link_available_mbps(dc.host_link(0)), 1000.0);
+  EXPECT_DOUBLE_EQ(occupancy.total_reserved_mbps(), 0.0);
+}
+
+TEST(OccupancyTest, AddLoadActivatesAndConsumes) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.add_host_load(0, {2.0, 4.0, 50.0});
+  EXPECT_TRUE(occupancy.is_active(0));
+  EXPECT_EQ(occupancy.active_host_count(), 1u);
+  EXPECT_EQ(occupancy.used(0), (topo::Resources{2.0, 4.0, 50.0}));
+  EXPECT_EQ(occupancy.available(0), (topo::Resources{6.0, 12.0, 450.0}));
+}
+
+TEST(OccupancyTest, OvercommitThrowsAndLeavesStateIntact) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.add_host_load(0, {6.0, 10.0, 100.0});
+  const Occupancy before = occupancy;
+  EXPECT_THROW(occupancy.add_host_load(0, {3.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(OccupancyTest, RemoveLoadRestores) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.add_host_load(0, {2.0, 4.0, 50.0});
+  occupancy.remove_host_load(0, {2.0, 4.0, 50.0});
+  EXPECT_TRUE(occupancy.used(0).is_zero());
+  // Active flag is sticky by design.
+  EXPECT_TRUE(occupancy.is_active(0));
+}
+
+TEST(OccupancyTest, RemoveMoreThanUsedThrows) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.add_host_load(0, {1.0, 1.0, 1.0});
+  EXPECT_THROW(occupancy.remove_host_load(0, {2.0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(OccupancyTest, LinkReserveAndRelease) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  const LinkId link = dc.host_link(0);
+  occupancy.reserve_link(link, 400.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(link), 400.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_available_mbps(link), 600.0);
+  occupancy.reserve_link(link, 600.0);  // exactly full
+  EXPECT_THROW(occupancy.reserve_link(link, 0.1), std::invalid_argument);
+  occupancy.release_link(link, 1000.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(link), 0.0);
+  EXPECT_THROW(occupancy.release_link(link, 0.1), std::invalid_argument);
+}
+
+TEST(OccupancyTest, NegativeAmountsRejected) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  EXPECT_THROW(occupancy.reserve_link(dc.host_link(0), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(occupancy.add_host_load(0, {-1.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(OccupancyTest, MarkActiveWithoutLoad) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.mark_active(2);
+  EXPECT_TRUE(occupancy.is_active(2));
+  EXPECT_EQ(occupancy.active_host_count(), 1u);
+  occupancy.mark_active(2);  // idempotent
+  EXPECT_EQ(occupancy.active_host_count(), 1u);
+}
+
+TEST(OccupancyTest, TotalReservedSumsLinks) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.reserve_link(dc.host_link(0), 100.0);
+  occupancy.reserve_link(dc.rack_link(0), 250.0);
+  EXPECT_DOUBLE_EQ(occupancy.total_reserved_mbps(), 350.0);
+}
+
+TEST(OccupancyTest, BadIdsThrow) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  EXPECT_THROW((void)occupancy.available(99), std::out_of_range);
+  EXPECT_THROW((void)occupancy.link_available_mbps(static_cast<LinkId>(
+                   dc.link_count())),
+               std::out_of_range);
+  EXPECT_THROW(occupancy.mark_active(99), std::out_of_range);
+}
+
+TEST(OccupancyTest, CopySnapshotRestores) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  const Occupancy snapshot = occupancy;
+  occupancy.add_host_load(1, {2.0, 2.0, 10.0});
+  occupancy.reserve_link(dc.host_link(1), 100.0);
+  EXPECT_FALSE(occupancy == snapshot);
+  occupancy = snapshot;
+  EXPECT_TRUE(occupancy == snapshot);
+  EXPECT_FALSE(occupancy.is_active(1));
+}
+
+}  // namespace
+}  // namespace ostro::dc

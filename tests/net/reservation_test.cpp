@@ -1,0 +1,129 @@
+#include "net/reservation.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace ostro::net {
+namespace {
+
+using ostro::testing::small_dc;
+using ostro::testing::tiny_app;
+
+TEST(ReservationTest, CommitConsumesHostAndLinkResources) {
+  const dc::DataCenter dc = small_dc(2, 2);
+  dc::Occupancy occupancy(dc);
+  const topo::AppTopology app = tiny_app();
+  // web->h0, db->h1 (same rack), data->h1 (co-located with db).
+  const Assignment assignment{0, 1, 1};
+  commit_placement(occupancy, app, assignment);
+
+  EXPECT_EQ(occupancy.used(0), (topo::Resources{2.0, 2.0, 0.0}));
+  EXPECT_EQ(occupancy.used(1), (topo::Resources{4.0, 4.0, 100.0}));
+  // Only the web--db pipe (100) crosses hosts: both host uplinks.
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.host_link(0)), 100.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.host_link(1)), 100.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.rack_link(0)), 0.0);
+}
+
+TEST(ReservationTest, CrossRackReservesTorLinks) {
+  const dc::DataCenter dc = small_dc(2, 2);
+  dc::Occupancy occupancy(dc);
+  const topo::AppTopology app = tiny_app();
+  const Assignment assignment{0, 2, 2};  // web rack0, db+data rack1
+  commit_placement(occupancy, app, assignment);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.rack_link(0)), 100.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.rack_link(1)), 100.0);
+}
+
+TEST(ReservationTest, FailureRollsBackEverything) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  // Consume so much bandwidth that the web--db pipe cannot fit.
+  occupancy.reserve_link(dc.host_link(1), 950.0);
+  const dc::Occupancy before = occupancy;
+
+  const topo::AppTopology app = tiny_app();
+  const Assignment assignment{0, 1, 1};
+  EXPECT_THROW(commit_placement(occupancy, app, assignment),
+               std::invalid_argument);
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(ReservationTest, HostOverCapacityRollsBack) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  occupancy.add_host_load(1, {6.0, 14.0, 0.0});  // db (4,4) will not fit
+  const dc::Occupancy before = occupancy;
+  const topo::AppTopology app = tiny_app();
+  EXPECT_THROW(commit_placement(occupancy, app, {0, 1, 0}),
+               std::invalid_argument);
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(ReservationTest, TransactionRollbackOnDestruction) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  const dc::Occupancy before = occupancy;
+  {
+    PlacementTransaction txn(occupancy);
+    txn.apply(tiny_app(), {0, 1, 1});
+    EXPECT_FALSE(occupancy == before);
+    // no commit -> rollback at scope exit
+  }
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(ReservationTest, TransactionCommitKeeps) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  const dc::Occupancy before = occupancy;
+  {
+    PlacementTransaction txn(occupancy);
+    txn.apply(tiny_app(), {0, 1, 1});
+    txn.commit();
+  }
+  EXPECT_FALSE(occupancy == before);
+}
+
+TEST(ReservationTest, ExplicitRollback) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  const dc::Occupancy before = occupancy;
+  PlacementTransaction txn(occupancy);
+  txn.apply(tiny_app(), {0, 1, 1});
+  txn.rollback();
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(ReservationTest, MalformedAssignmentsRejected) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  const topo::AppTopology app = tiny_app();
+  EXPECT_THROW(commit_placement(occupancy, app, {0, 1}),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW(commit_placement(occupancy, app, {0, 1, dc::kInvalidHost}),
+               std::invalid_argument);  // unplaced node
+  EXPECT_THROW(commit_placement(occupancy, app, {0, 1, 77}),
+               std::invalid_argument);  // bad host
+}
+
+TEST(ReservedBandwidthTest, HopWeightedSum) {
+  const dc::DataCenter dc = small_dc(2, 2);
+  const topo::AppTopology app = tiny_app();
+  // All on one host: zero.
+  EXPECT_DOUBLE_EQ(reserved_bandwidth_mbps(dc, app, {0, 0, 0}), 0.0);
+  // web-db same rack (100*2), db-data co-located: 200.
+  EXPECT_DOUBLE_EQ(reserved_bandwidth_mbps(dc, app, {0, 1, 1}), 200.0);
+  // web-db cross rack (100*4), db-data cross rack (200*4): 1200.
+  EXPECT_DOUBLE_EQ(reserved_bandwidth_mbps(dc, app, {0, 2, 1}), 1200.0);
+}
+
+TEST(ReservedBandwidthTest, SizeMismatchThrows) {
+  const dc::DataCenter dc = small_dc();
+  EXPECT_THROW((void)reserved_bandwidth_mbps(dc, tiny_app(), {0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ostro::net

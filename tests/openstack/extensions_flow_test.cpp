@@ -1,0 +1,123 @@
+// End-to-end OpenStack flow with the extension properties: a template
+// using hardware tags, latency budgets and an affinity group goes through
+// the Ostro wrapper onto a tagged data center, and the Heat engine enforces
+// the annotated decision.
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "openstack/ostro_wrapper.h"
+#include "util/string_util.h"
+
+namespace ostro::os {
+namespace {
+
+dc::DataCenter tagged_two_racks() {
+  dc::DataCenterBuilder builder;
+  const auto site = builder.add_site("s", 64000.0);
+  const auto pod = builder.add_pod(site, "p", 64000.0);
+  for (int r = 0; r < 2; ++r) {
+    const auto rack =
+        builder.add_rack(pod, "rack" + std::to_string(r), 32000.0);
+    for (int h = 0; h < 3; ++h) {
+      std::vector<std::string> tags;
+      if (h == 2) tags = {"ssd"};  // one ssd host per rack
+      builder.add_host(rack,
+                       "r" + std::to_string(r) + "h" + std::to_string(h),
+                       {16.0, 32.0, 1000.0}, 10000.0, std::move(tags));
+    }
+  }
+  return builder.build();
+}
+
+constexpr const char* kTemplate = R"({
+  "description": "extension flow",
+  "resources": {
+    "app": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.medium"}},
+    "db":  {"type": "OS::Nova::Server",
+            "properties": {"flavor": "m1.large", "required_tags": ["ssd"]}},
+    "vol": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 250}},
+    "p0":  {"type": "ATT::QoS::Pipe",
+            "properties": {"from": "app", "to": "db",
+                           "bandwidth_mbps": 300, "max_latency_us": 30}},
+    "p1":  {"type": "ATT::QoS::Pipe",
+            "properties": {"from": "db", "to": "vol",
+                           "bandwidth_mbps": 500, "max_latency_us": 30}},
+    "ag":  {"type": "ATT::Valet::AffinityGroup",
+            "properties": {"level": "rack", "members": ["db", "vol"]}}
+  }
+})";
+
+TEST(ExtensionFlowTest, WrapperHonorsTagsLatencyAndAffinity) {
+  const auto datacenter = tagged_two_racks();
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+
+  const WrapperResult result =
+      wrapper.process_text(kTemplate, core::Algorithm::kBaStar);
+  ASSERT_TRUE(result.placement.feasible)
+      << result.placement.failure_reason;
+  ASSERT_TRUE(result.deployment.success) << result.deployment.failure;
+
+  const HeatTemplate parsed = HeatTemplate::parse_text(kTemplate);
+  const auto& assignment = result.deployment.assignment;
+  const auto db = parsed.topology.node_id("db");
+  const auto app = parsed.topology.node_id("app");
+  const auto vol = parsed.topology.node_id("vol");
+
+  // db landed on an ssd host.
+  EXPECT_TRUE(datacenter.host(assignment[db]).has_all_tags({"ssd"}));
+  // 30us budget: app within db's rack (host 5us or rack 25us).
+  EXPECT_LE(static_cast<int>(
+                datacenter.scope_between(assignment[app], assignment[db])),
+            static_cast<int>(dc::Scope::kSameRack));
+  // affinity: db and vol share a rack.
+  EXPECT_EQ(datacenter.host(assignment[db]).rack,
+            datacenter.host(assignment[vol]).rack);
+}
+
+TEST(ExtensionFlowTest, ImpossibleTagMakesWholeStackFail) {
+  const auto datacenter = tagged_two_racks();
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  const std::string text = util::format(R"({
+    "resources": {
+      "a": {"type": "OS::Nova::Server",
+            "properties": {"flavor": "m1.tiny",
+                           "required_tags": ["%s"]}}
+    }
+  })", "fpga");
+  const WrapperResult result =
+      wrapper.process_text(text, core::Algorithm::kEg);
+  EXPECT_FALSE(result.placement.feasible);
+  EXPECT_FALSE(result.deployment.success);
+  EXPECT_EQ(scheduler.occupancy().active_host_count(), 0u);
+}
+
+TEST(ExtensionFlowTest, LatencyVsAffinityConflictReported) {
+  const auto datacenter = tagged_two_racks();
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  // Two ssd-tagged servers (one ssd host per rack forces different racks
+  // via the zone) with a same-host latency budget: unsatisfiable.
+  const WrapperResult result = wrapper.process_text(R"({
+    "resources": {
+      "a": {"type": "OS::Nova::Server",
+            "properties": {"flavor": "m1.tiny", "required_tags": ["ssd"]}},
+      "b": {"type": "OS::Nova::Server",
+            "properties": {"flavor": "m1.tiny", "required_tags": ["ssd"]}},
+      "z": {"type": "ATT::Valet::DiversityZone",
+            "properties": {"level": "rack", "members": ["a", "b"]}},
+      "p": {"type": "ATT::QoS::Pipe",
+            "properties": {"from": "a", "to": "b",
+                           "bandwidth_mbps": 10, "max_latency_us": 10}}
+    }
+  })",
+                                                    core::Algorithm::kBaStar);
+  EXPECT_FALSE(result.placement.feasible);
+}
+
+}  // namespace
+}  // namespace ostro::os

@@ -1,0 +1,160 @@
+#include "openstack/heat_template.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace ostro::os {
+namespace {
+
+constexpr const char* kTemplate = R"({
+  "heat_template_version": "2014-10-16",
+  "description": "two tier",
+  "resources": {
+    "web0": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.small"}},
+    "db0": {"type": "OS::Nova::Server",
+            "properties": {"flavor": {"vcpus": 4, "ram_gb": 8}}},
+    "vol0": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 120}},
+    "p0": {"type": "ATT::QoS::Pipe",
+           "properties": {"from": "web0", "to": "db0", "bandwidth_mbps": 100}},
+    "p1": {"type": "ATT::QoS::Pipe",
+           "properties": {"from": "db0", "to": "vol0", "bandwidth_mbps": 200}},
+    "dz0": {"type": "ATT::Valet::DiversityZone",
+            "properties": {"level": "host", "members": ["web0", "db0"]}}
+  }
+})";
+
+TEST(HeatTemplateTest, ParsesFullTemplate) {
+  const HeatTemplate parsed = HeatTemplate::parse_text(kTemplate);
+  EXPECT_EQ(parsed.description, "two tier");
+  EXPECT_EQ(parsed.topology.node_count(), 3u);
+  EXPECT_EQ(parsed.topology.edge_count(), 2u);
+  ASSERT_EQ(parsed.topology.zones().size(), 1u);
+  EXPECT_EQ(parsed.topology.zones()[0].level, topo::DiversityLevel::kHost);
+
+  const auto web = parsed.topology.node(parsed.topology.node_id("web0"));
+  EXPECT_EQ(web.requirements, (topo::Resources{2.0, 2.0, 0.0}));
+  const auto db = parsed.topology.node(parsed.topology.node_id("db0"));
+  EXPECT_EQ(db.requirements, (topo::Resources{4.0, 8.0, 0.0}));
+  const auto vol = parsed.topology.node(parsed.topology.node_id("vol0"));
+  EXPECT_EQ(vol.kind, topo::NodeKind::kVolume);
+  EXPECT_DOUBLE_EQ(vol.requirements.disk_gb, 120.0);
+}
+
+TEST(HeatTemplateTest, FlavorNames) {
+  EXPECT_EQ(flavor_by_name("m1.tiny"), (topo::Resources{1.0, 0.5, 0.0}));
+  EXPECT_EQ(flavor_by_name("m1.xlarge"), (topo::Resources{8.0, 16.0, 0.0}));
+  EXPECT_THROW((void)flavor_by_name("z9.mega"), TemplateError);
+}
+
+TEST(HeatTemplateTest, AllDiversityLevelsParse) {
+  for (const char* level : {"host", "rack", "pod", "datacenter"}) {
+    const std::string text = std::string(R"({
+      "resources": {
+        "a": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+        "b": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+        "z": {"type": "ATT::Valet::DiversityZone",
+              "properties": {"level": ")") +
+                             level + R"(", "members": ["a", "b"]}}
+      }
+    })";
+    EXPECT_NO_THROW((void)HeatTemplate::parse_text(text)) << level;
+  }
+}
+
+TEST(HeatTemplateTest, ErrorsAreDescriptive) {
+  // Not JSON.
+  EXPECT_THROW((void)HeatTemplate::parse_text("not json"), TemplateError);
+  // No resources.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({"a": 1})"), TemplateError);
+  // Unknown resource type.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({
+    "resources": {"x": {"type": "OS::Neutron::Port", "properties": {}}}
+  })"),
+               TemplateError);
+  // Pipe to a missing node.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({
+    "resources": {
+      "a": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+      "p": {"type": "ATT::QoS::Pipe",
+            "properties": {"from": "a", "to": "ghost", "bandwidth_mbps": 10}}
+    }
+  })"),
+               TemplateError);
+  // Missing flavor.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({
+    "resources": {"a": {"type": "OS::Nova::Server", "properties": {}}}
+  })"),
+               TemplateError);
+  // Bad diversity level.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({
+    "resources": {
+      "a": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+      "b": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+      "z": {"type": "ATT::Valet::DiversityZone",
+            "properties": {"level": "galaxy", "members": ["a", "b"]}}
+    }
+  })"),
+               TemplateError);
+  // Negative bandwidth.
+  EXPECT_THROW((void)HeatTemplate::parse_text(R"({
+    "resources": {
+      "a": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+      "b": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.tiny"}},
+      "p": {"type": "ATT::QoS::Pipe",
+            "properties": {"from": "a", "to": "b", "bandwidth_mbps": -10}}
+    }
+  })"),
+               TemplateError);
+}
+
+TEST(HeatTemplateTest, AnnotateAddsForceHostHints) {
+  const HeatTemplate parsed = HeatTemplate::parse_text(kTemplate);
+  const auto datacenter = ostro::testing::small_dc(2, 2);
+  net::Assignment assignment(parsed.topology.node_count());
+  assignment[parsed.topology.node_id("web0")] = 0;
+  assignment[parsed.topology.node_id("db0")] = 1;
+  assignment[parsed.topology.node_id("vol0")] = 1;
+
+  const util::Json original = util::Json::parse(kTemplate);
+  const util::Json annotated =
+      annotate_with_placement(original, parsed, assignment, datacenter);
+  const auto& resources = annotated.at("resources");
+  EXPECT_EQ(resources.at("web0")
+                .at("scheduler_hints")
+                .at("ATT::Ostro::force_host")
+                .as_string(),
+            datacenter.host(0).name);
+  EXPECT_EQ(resources.at("vol0")
+                .at("scheduler_hints")
+                .at("ATT::Ostro::force_host")
+                .as_string(),
+            datacenter.host(1).name);
+  // Pipes and zones untouched.
+  EXPECT_FALSE(resources.at("p0").contains("scheduler_hints"));
+  // The original document is unchanged (deep copy).
+  EXPECT_FALSE(original.at("resources").at("web0").contains("scheduler_hints"));
+}
+
+TEST(HeatTemplateTest, AnnotateRejectsBadAssignments) {
+  const HeatTemplate parsed = HeatTemplate::parse_text(kTemplate);
+  const auto datacenter = ostro::testing::small_dc();
+  const util::Json original = util::Json::parse(kTemplate);
+  EXPECT_THROW((void)annotate_with_placement(original, parsed, {0}, datacenter),
+               TemplateError);
+  net::Assignment unplaced(parsed.topology.node_count(), dc::kInvalidHost);
+  EXPECT_THROW(
+      (void)annotate_with_placement(original, parsed, unplaced, datacenter),
+      TemplateError);
+}
+
+TEST(HeatTemplateTest, ResourceKeysTrackNodes) {
+  const HeatTemplate parsed = HeatTemplate::parse_text(kTemplate);
+  ASSERT_EQ(parsed.resource_keys.size(), parsed.topology.node_count());
+  for (std::size_t i = 0; i < parsed.resource_keys.size(); ++i) {
+    EXPECT_EQ(parsed.resource_keys[i], parsed.topology.nodes()[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace ostro::os

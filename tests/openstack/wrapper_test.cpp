@@ -1,0 +1,99 @@
+#include "openstack/ostro_wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace ostro::os {
+namespace {
+
+using ostro::testing::small_dc;
+
+constexpr const char* kTemplate = R"({
+  "description": "wrapper demo",
+  "resources": {
+    "a": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.small"}},
+    "b": {"type": "OS::Nova::Server", "properties": {"flavor": "m1.small"}},
+    "v": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 50}},
+    "p0": {"type": "ATT::QoS::Pipe",
+           "properties": {"from": "a", "to": "b", "bandwidth_mbps": 100}},
+    "p1": {"type": "ATT::QoS::Pipe",
+           "properties": {"from": "b", "to": "v", "bandwidth_mbps": 200}}
+  }
+})";
+
+TEST(WrapperTest, FullPipelineCoLocates) {
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+
+  const WrapperResult result =
+      wrapper.process_text(kTemplate, core::Algorithm::kEg);
+  ASSERT_TRUE(result.placement.feasible);
+  ASSERT_TRUE(result.deployment.success) << result.deployment.failure;
+  // Ostro co-locates the whole stack: zero reserved bandwidth, unlike the
+  // naive per-request path (see HeatEngineTest).
+  EXPECT_DOUBLE_EQ(result.deployment.reserved_bandwidth_mbps, 0.0);
+  EXPECT_EQ(result.deployment.new_active_hosts, 1);
+  // The annotated template carries hints for every server/volume.
+  for (const char* key : {"a", "b", "v"}) {
+    EXPECT_TRUE(result.annotated_template.at("resources")
+                    .at(key)
+                    .contains("scheduler_hints"))
+        << key;
+  }
+}
+
+TEST(WrapperTest, DeploymentMatchesOstroDecision) {
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  const WrapperResult result =
+      wrapper.process_text(kTemplate, core::Algorithm::kBaStar);
+  ASSERT_TRUE(result.deployment.success);
+  EXPECT_EQ(result.deployment.assignment, result.placement.assignment);
+}
+
+TEST(WrapperTest, InfeasiblePlacementReported) {
+  const auto datacenter = small_dc(1, 1);
+  core::OstroScheduler scheduler(datacenter);
+  scheduler.occupancy().add_host_load(0, {7.0, 15.0, 0.0});
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  const WrapperResult result =
+      wrapper.process_text(kTemplate, core::Algorithm::kEg);
+  EXPECT_FALSE(result.placement.feasible);
+  EXPECT_FALSE(result.deployment.success);
+  EXPECT_NE(result.deployment.failure.find("Ostro"), std::string::npos);
+}
+
+TEST(WrapperTest, BadTemplateReported) {
+  const auto datacenter = small_dc();
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  EXPECT_FALSE(
+      wrapper.process_text("not json", core::Algorithm::kEg).deployment.success);
+  EXPECT_FALSE(wrapper.process_text(R"({"resources": {"x": {"type": "Bad"}}})",
+                                    core::Algorithm::kEg)
+                   .deployment.success);
+}
+
+TEST(WrapperTest, SuccessiveStacksShareTheDataCenter) {
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(scheduler, engine);
+  ASSERT_TRUE(
+      wrapper.process_text(kTemplate, core::Algorithm::kEg).deployment.success);
+  const WrapperResult second =
+      wrapper.process_text(kTemplate, core::Algorithm::kEg);
+  ASSERT_TRUE(second.deployment.success);
+  // Ostro prefers the already-active host; no new activations needed.
+  EXPECT_EQ(second.deployment.new_active_hosts, 0);
+}
+
+}  // namespace
+}  // namespace ostro::os

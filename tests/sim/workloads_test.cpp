@@ -1,0 +1,181 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace ostro::sim {
+namespace {
+
+TEST(MultitierTest, StructureAtSize25) {
+  util::Rng rng(1);
+  const auto app = make_multitier(25, RequirementMix::kHomogeneous, rng);
+  EXPECT_EQ(app.node_count(), 25u);
+  // Complete bipartite between 5 tiers of 5: 4 boundaries x 25 pipes.
+  EXPECT_EQ(app.edge_count(), 100u);
+  // Two host-level zones per tier (5 -> 2+3).
+  EXPECT_EQ(app.zones().size(), 10u);
+  for (const auto& zone : app.zones()) {
+    EXPECT_EQ(zone.level, topo::DiversityLevel::kHost);
+    EXPECT_GE(zone.members.size(), 2u);
+  }
+}
+
+TEST(MultitierTest, HomogeneousRequirements) {
+  util::Rng rng(2);
+  const auto app = make_multitier(50, RequirementMix::kHomogeneous, rng);
+  for (const auto& node : app.nodes()) {
+    EXPECT_EQ(node.requirements, (topo::Resources{2.0, 2.0, 0.0}));
+  }
+  for (const auto& edge : app.edges()) {
+    EXPECT_DOUBLE_EQ(edge.bandwidth_mbps, 50.0);
+  }
+}
+
+TEST(MultitierTest, HeterogeneousMixProportions) {
+  util::Rng rng(3);
+  const auto app = make_multitier(200, RequirementMix::kHeterogeneous, rng);
+  int small = 0, medium = 0, large = 0;
+  for (const auto& node : app.nodes()) {
+    if (node.requirements.vcpus == 1.0) ++small;
+    if (node.requirements.vcpus == 2.0) ++medium;
+    if (node.requirements.vcpus == 4.0) ++large;
+  }
+  EXPECT_EQ(small + medium + large, 200);
+  EXPECT_EQ(small, 80);   // 40%
+  EXPECT_EQ(medium, 40);  // 20%
+  EXPECT_EQ(large, 80);   // 40%
+}
+
+TEST(MultitierTest, EdgeBandwidthIsMinOfClasses) {
+  util::Rng rng(4);
+  const auto app = make_multitier(25, RequirementMix::kHeterogeneous, rng);
+  for (const auto& edge : app.edges()) {
+    EXPECT_TRUE(edge.bandwidth_mbps == 10.0 || edge.bandwidth_mbps == 50.0 ||
+                edge.bandwidth_mbps == 100.0);
+  }
+}
+
+TEST(MultitierTest, RejectsBadSizes) {
+  util::Rng rng(5);
+  EXPECT_THROW((void)make_multitier(0, RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_multitier(23, RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_multitier(-5, RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+}
+
+TEST(MultitierTest, DeterministicPerSeed) {
+  util::Rng rng1(42), rng2(42), rng3(43);
+  const auto a = make_multitier(50, RequirementMix::kHeterogeneous, rng1);
+  const auto b = make_multitier(50, RequirementMix::kHeterogeneous, rng2);
+  const auto c = make_multitier(50, RequirementMix::kHeterogeneous, rng3);
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.nodes()[i].requirements, b.nodes()[i].requirements);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    if (!(a.nodes()[i].requirements == c.nodes()[i].requirements)) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MeshTest, ZoneStructure) {
+  util::Rng rng(6);
+  const auto app = make_mesh(8, RequirementMix::kHomogeneous, rng);
+  EXPECT_EQ(app.node_count(), 40u);  // 8 zones x 5 VMs
+  EXPECT_EQ(app.zones().size(), 8u);
+  for (const auto& zone : app.zones()) {
+    EXPECT_EQ(zone.members.size(), 5u);
+    EXPECT_EQ(zone.level, topo::DiversityLevel::kHost);
+  }
+}
+
+TEST(MeshTest, ConnectivityRoughlyEightyPercent) {
+  util::Rng rng(7);
+  const auto app = make_mesh(20, RequirementMix::kHomogeneous, rng);
+  // Each linked zone pair contributes exactly 5 pipes.
+  const double pairs = static_cast<double>(app.edge_count()) / 5.0;
+  const double max_pairs = 20.0 * 19.0 / 2.0;
+  EXPECT_GT(pairs / max_pairs, 0.6);
+  EXPECT_LE(pairs / max_pairs, 1.0);
+}
+
+TEST(MeshTest, ZeroConnectivityMeansNoEdges) {
+  util::Rng rng(8);
+  const auto app = make_mesh(5, RequirementMix::kHomogeneous, rng, 0.0);
+  EXPECT_EQ(app.edge_count(), 0u);
+}
+
+TEST(MeshTest, RejectsBadParameters) {
+  util::Rng rng(9);
+  EXPECT_THROW((void)make_mesh(1, RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_mesh(5, RequirementMix::kHomogeneous, rng, 1.5),
+               std::invalid_argument);
+}
+
+TEST(QfsTest, MatchesFigure5) {
+  const auto app = make_qfs();
+  // 14 VMs? 1 meta + 1 client + 12 chunks = 14 VMs, 15 volumes.
+  std::size_t vms = 0, volumes = 0;
+  for (const auto& node : app.nodes()) {
+    if (node.kind == topo::NodeKind::kVm) ++vms;
+    if (node.kind == topo::NodeKind::kVolume) ++volumes;
+  }
+  EXPECT_EQ(vms, 14u);
+  EXPECT_EQ(volumes, 15u);
+  // Pipes: 12 chunk-vol + 12 client-chunk + client-meta + 2 meta-vol +
+  // client-vol = 28.
+  EXPECT_EQ(app.edge_count(), 28u);
+  // Total bandwidth: 12*100 + 12*100 + 10 + 20 + 10 = 2440.
+  EXPECT_DOUBLE_EQ(app.total_edge_bandwidth(), 2440.0);
+  // Chunk volumes in one host-level zone of 12.
+  ASSERT_EQ(app.zones().size(), 1u);
+  EXPECT_EQ(app.zones()[0].members.size(), 12u);
+  EXPECT_EQ(app.zones()[0].level, topo::DiversityLevel::kHost);
+  // Client is the large VM of Figure 5.
+  const auto client = app.node(app.node_id("client"));
+  EXPECT_EQ(client.requirements, (topo::Resources{4.0, 8.0, 0.0}));
+}
+
+TEST(GrowMultitierTest, PreservesPrefixAndAddsExtras) {
+  util::Rng rng(10);
+  const auto base = make_multitier(25, RequirementMix::kHeterogeneous, rng);
+  util::Rng rng2(11);
+  const auto grown = grow_multitier(base, 25, 3, 1,
+                                    RequirementMix::kHeterogeneous, rng2);
+  EXPECT_EQ(grown.node_count(), 28u);
+  for (std::size_t i = 0; i < base.node_count(); ++i) {
+    EXPECT_EQ(grown.nodes()[i].name, base.nodes()[i].name);
+    EXPECT_EQ(grown.nodes()[i].requirements, base.nodes()[i].requirements);
+  }
+  EXPECT_GT(grown.edge_count(), base.edge_count());
+  // New VMs join the tier's zones.
+  std::size_t zone_members = 0;
+  for (const auto& zone : grown.zones()) zone_members += zone.members.size();
+  std::size_t base_members = 0;
+  for (const auto& zone : base.zones()) base_members += zone.members.size();
+  EXPECT_EQ(zone_members, base_members + 3);
+}
+
+TEST(GrowMultitierTest, RejectsBadArguments) {
+  util::Rng rng(12);
+  const auto base = make_multitier(25, RequirementMix::kHomogeneous, rng);
+  EXPECT_THROW((void)grow_multitier(base, 25, 0, 1,
+                                    RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)grow_multitier(base, 25, 2, 9,
+                                    RequirementMix::kHomogeneous, rng),
+               std::invalid_argument);
+}
+
+TEST(RequirementMixTest, ToString) {
+  EXPECT_STREQ(to_string(RequirementMix::kHeterogeneous), "heterogeneous");
+  EXPECT_STREQ(to_string(RequirementMix::kHomogeneous), "homogeneous");
+}
+
+}  // namespace
+}  // namespace ostro::sim

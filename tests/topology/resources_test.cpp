@@ -1,0 +1,60 @@
+#include "topology/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace ostro::topo {
+namespace {
+
+TEST(ResourcesTest, ArithmeticOperators) {
+  const Resources a{2.0, 4.0, 100.0};
+  const Resources b{1.0, 1.0, 50.0};
+  EXPECT_EQ(a + b, (Resources{3.0, 5.0, 150.0}));
+  EXPECT_EQ(a - b, (Resources{1.0, 3.0, 50.0}));
+  Resources c = a;
+  c += b;
+  EXPECT_EQ(c, (Resources{3.0, 5.0, 150.0}));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(ResourcesTest, FitsWithin) {
+  const Resources req{2.0, 4.0, 100.0};
+  EXPECT_TRUE(req.fits_within({2.0, 4.0, 100.0}));  // exact fit
+  EXPECT_TRUE(req.fits_within({3.0, 5.0, 200.0}));
+  EXPECT_FALSE(req.fits_within({1.9, 5.0, 200.0}));
+  EXPECT_FALSE(req.fits_within({3.0, 3.9, 200.0}));
+  EXPECT_FALSE(req.fits_within({3.0, 5.0, 99.0}));
+}
+
+TEST(ResourcesTest, FitsWithinToleratesFloatNoise) {
+  Resources capacity{1.0, 1.0, 1.0};
+  // Accumulate 0.1 ten times: classic floating-point residue.
+  Resources req{0.0, 0.0, 0.0};
+  for (int i = 0; i < 10; ++i) req += Resources{0.1, 0.1, 0.1};
+  EXPECT_TRUE(req.fits_within(capacity));
+}
+
+TEST(ResourcesTest, ZeroAlwaysFits) {
+  EXPECT_TRUE(Resources{}.fits_within({0.0, 0.0, 0.0}));
+  EXPECT_TRUE(Resources{}.is_zero());
+  EXPECT_FALSE((Resources{0.0, 0.1, 0.0}).is_zero());
+}
+
+TEST(ResourcesTest, NonNegativeCheck) {
+  EXPECT_TRUE((Resources{0.0, 0.0, 0.0}).is_nonnegative());
+  EXPECT_TRUE((Resources{1.0, 2.0, 3.0}).is_nonnegative());
+  EXPECT_FALSE((Resources{-0.1, 2.0, 3.0}).is_nonnegative());
+  EXPECT_NO_THROW(require_nonnegative({1.0, 1.0, 1.0}, "ok"));
+  EXPECT_THROW(require_nonnegative({-1.0, 1.0, 1.0}, "bad"),
+               std::invalid_argument);
+}
+
+TEST(ResourcesTest, ToStringMentionsAllComponents) {
+  const std::string text = Resources{2.0, 4.0, 100.0}.to_string();
+  EXPECT_NE(text.find('2'), std::string::npos);
+  EXPECT_NE(text.find('4'), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ostro::topo

@@ -1,0 +1,176 @@
+#include "topology/app_topology.h"
+
+#include <gtest/gtest.h>
+
+namespace ostro::topo {
+namespace {
+
+AppTopology three_node_app() {
+  TopologyBuilder builder;
+  builder.add_vm("web", {2.0, 2.0, 0.0});
+  builder.add_vm("db", {4.0, 8.0, 0.0});
+  builder.add_volume("data", 120.0);
+  builder.connect("web", "db", 100.0);
+  builder.connect("db", "data", 200.0);
+  builder.add_zone("anti", DiversityLevel::kRack,
+                   std::vector<std::string>{"web", "db"});
+  return builder.build();
+}
+
+TEST(TopologyBuilderTest, BuildsNodesEdgesZones) {
+  const AppTopology topology = three_node_app();
+  EXPECT_EQ(topology.node_count(), 3u);
+  EXPECT_EQ(topology.edge_count(), 2u);
+  EXPECT_EQ(topology.zones().size(), 1u);
+  EXPECT_EQ(topology.node(topology.node_id("web")).kind, NodeKind::kVm);
+  EXPECT_EQ(topology.node(topology.node_id("data")).kind, NodeKind::kVolume);
+  EXPECT_DOUBLE_EQ(topology.node(topology.node_id("data")).requirements.disk_gb,
+                   120.0);
+}
+
+TEST(TopologyBuilderTest, NeighborsAndIncidentBandwidth) {
+  const AppTopology topology = three_node_app();
+  const NodeId db = topology.node_id("db");
+  const auto neighbors = topology.neighbors(db);
+  EXPECT_EQ(neighbors.size(), 2u);
+  EXPECT_DOUBLE_EQ(topology.incident_bandwidth(db), 300.0);
+  EXPECT_DOUBLE_EQ(topology.incident_bandwidth(topology.node_id("web")), 100.0);
+  EXPECT_DOUBLE_EQ(topology.total_edge_bandwidth(), 300.0);
+}
+
+TEST(TopologyBuilderTest, TotalRequirements) {
+  const AppTopology topology = three_node_app();
+  const Resources total = topology.total_requirements();
+  EXPECT_DOUBLE_EQ(total.vcpus, 6.0);
+  EXPECT_DOUBLE_EQ(total.mem_gb, 10.0);
+  EXPECT_DOUBLE_EQ(total.disk_gb, 120.0);
+}
+
+TEST(TopologyBuilderTest, ZonesOfAndSeparation) {
+  const AppTopology topology = three_node_app();
+  const NodeId web = topology.node_id("web");
+  const NodeId db = topology.node_id("db");
+  const NodeId data = topology.node_id("data");
+  EXPECT_EQ(topology.zones_of(web).size(), 1u);
+  EXPECT_EQ(topology.zones_of(data).size(), 0u);
+  EXPECT_TRUE(topology.must_separate(web, db));
+  EXPECT_FALSE(topology.must_separate(web, data));
+  EXPECT_EQ(topology.required_separation(web, db), DiversityLevel::kRack);
+  EXPECT_FALSE(topology.required_separation(web, web).has_value());
+}
+
+TEST(TopologyBuilderTest, StrongestSharedZoneWins) {
+  TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  builder.add_zone("weak", DiversityLevel::kHost,
+                   std::vector<std::string>{"a", "b"});
+  builder.add_zone("strong", DiversityLevel::kPod,
+                   std::vector<std::string>{"a", "b"});
+  const AppTopology topology = builder.build();
+  EXPECT_EQ(topology.required_separation(0, 1), DiversityLevel::kPod);
+}
+
+TEST(TopologyBuilderTest, FindNode) {
+  const AppTopology topology = three_node_app();
+  EXPECT_TRUE(topology.find_node("web").has_value());
+  EXPECT_FALSE(topology.find_node("nope").has_value());
+  EXPECT_THROW((void)topology.node_id("nope"), std::out_of_range);
+}
+
+TEST(TopologyBuilderTest, EdgeOther) {
+  const AppTopology topology = three_node_app();
+  const Edge& edge = topology.edges().front();
+  EXPECT_EQ(edge.other(edge.a), edge.b);
+  EXPECT_EQ(edge.other(edge.b), edge.a);
+  const NodeId neither = topology.node_id("data");
+  EXPECT_THROW((void)edge.other(neither), std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsDuplicateNames) {
+  TopologyBuilder builder;
+  builder.add_vm("x", {1.0, 1.0, 0.0});
+  EXPECT_THROW(builder.add_vm("x", {1.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(builder.add_volume("x", 10.0), std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsEmptyNameAndNegativeResources) {
+  TopologyBuilder builder;
+  EXPECT_THROW(builder.add_vm("", {1.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(builder.add_vm("neg", {-1.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(builder.add_volume("vol", 0.0), std::invalid_argument);
+  EXPECT_THROW(builder.add_volume("vol", -5.0), std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsBadPipes) {
+  TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  builder.add_volume("v1", 10.0);
+  builder.add_volume("v2", 10.0);
+  EXPECT_THROW(builder.connect("a", "a", 10.0), std::invalid_argument);
+  EXPECT_THROW(builder.connect("a", "b", 0.0), std::invalid_argument);
+  EXPECT_THROW(builder.connect("a", "b", -3.0), std::invalid_argument);
+  EXPECT_THROW(builder.connect("a", "nope", 10.0), std::invalid_argument);
+  EXPECT_THROW(builder.connect("v1", "v2", 10.0), std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, RejectsBadZones) {
+  TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  builder.add_vm("b", {1.0, 1.0, 0.0});
+  EXPECT_THROW(builder.add_zone("z", DiversityLevel::kHost, {"a"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      builder.add_zone("z", DiversityLevel::kHost,
+                       std::vector<std::string>{"a", "a"}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      builder.add_zone("", DiversityLevel::kHost,
+                       std::vector<std::string>{"a", "b"}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      builder.add_zone("z", DiversityLevel::kHost,
+                       std::vector<std::string>{"a", "nope"}),
+      std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, EmptyBuildThrows) {
+  TopologyBuilder builder;
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(TopologyBuilderTest, BuilderResetsAfterBuild) {
+  TopologyBuilder builder;
+  builder.add_vm("a", {1.0, 1.0, 0.0});
+  (void)builder.build();
+  EXPECT_EQ(builder.node_count(), 0u);
+  // Names from the previous build are free again.
+  EXPECT_NO_THROW(builder.add_vm("a", {1.0, 1.0, 0.0}));
+}
+
+TEST(TopologyBuilderTest, VolumeVmPipeAllowed) {
+  TopologyBuilder builder;
+  builder.add_vm("vm", {1.0, 1.0, 0.0});
+  builder.add_volume("vol", 10.0);
+  EXPECT_NO_THROW(builder.connect("vol", "vm", 50.0));
+}
+
+TEST(TopologyEnumTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(NodeKind::kVm), "vm");
+  EXPECT_STREQ(to_string(NodeKind::kVolume), "volume");
+  EXPECT_STREQ(to_string(DiversityLevel::kHost), "host");
+  EXPECT_STREQ(to_string(DiversityLevel::kRack), "rack");
+  EXPECT_STREQ(to_string(DiversityLevel::kPod), "pod");
+  EXPECT_STREQ(to_string(DiversityLevel::kDatacenter), "datacenter");
+}
+
+TEST(TopologyTest, OutOfRangeAccessThrows) {
+  const AppTopology topology = three_node_app();
+  EXPECT_THROW((void)topology.node(99), std::out_of_range);
+  EXPECT_THROW((void)topology.neighbors(99), std::out_of_range);
+  EXPECT_THROW((void)topology.zones_of(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ostro::topo

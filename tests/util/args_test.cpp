@@ -1,0 +1,103 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace ostro::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test program");
+  parser.add_flag("verbose", "enable chatter");
+  parser.add_int("runs", 3, "number of runs");
+  parser.add_double("theta", 0.6, "weight");
+  parser.add_string("algo", "eg", "algorithm");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, DefaultsApply) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_EQ(parser.get_int("runs"), 3);
+  EXPECT_DOUBLE_EQ(parser.get_double("theta"), 0.6);
+  EXPECT_EQ(parser.get_string("algo"), "eg");
+}
+
+TEST(ArgParserTest, SpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--runs", "10", "--theta", "0.9", "--algo",
+                             "dba", "--verbose"}));
+  EXPECT_TRUE(parser.flag("verbose"));
+  EXPECT_EQ(parser.get_int("runs"), 10);
+  EXPECT_DOUBLE_EQ(parser.get_double("theta"), 0.9);
+  EXPECT_EQ(parser.get_string("algo"), "dba");
+}
+
+TEST(ArgParserTest, EqualsSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--runs=7", "--theta=0.25", "--algo=ba"}));
+  EXPECT_EQ(parser.get_int("runs"), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("theta"), 0.25);
+  EXPECT_EQ(parser.get_string("algo"), "ba");
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"input.json", "--runs", "2", "extra"}));
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.json", "extra"}));
+}
+
+TEST(ArgParserTest, UnknownOptionThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--nope"}), std::invalid_argument);
+}
+
+TEST(ArgParserTest, MissingValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--runs"}), std::invalid_argument);
+}
+
+TEST(ArgParserTest, BadValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--runs", "abc"}), std::invalid_argument);
+  ArgParser parser2 = make_parser();
+  EXPECT_THROW(parse(parser2, {"--theta", "1.2.3"}), std::invalid_argument);
+  ArgParser parser3 = make_parser();
+  EXPECT_THROW(parse(parser3, {"--verbose=1"}), std::invalid_argument);
+}
+
+TEST(ArgParserTest, HelpReturnsFalse) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(ArgParserTest, UndeclaredLookupIsLogicError) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_THROW((void)parser.get_int("theta"), std::logic_error);  // wrong kind
+  EXPECT_THROW((void)parser.flag("runs"), std::logic_error);
+  EXPECT_THROW((void)parser.get_string("nope"), std::logic_error);
+}
+
+TEST(ArgParserTest, DuplicateDeclarationThrows) {
+  ArgParser parser("p", "d");
+  parser.add_int("x", 1, "first");
+  EXPECT_THROW(parser.add_flag("x", "dup"), std::logic_error);
+}
+
+TEST(ArgParserTest, UsageMentionsOptionsAndDefaults) {
+  ArgParser parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--runs"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+  EXPECT_NE(usage.find("--algo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ostro::util

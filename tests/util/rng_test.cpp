@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ostro::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values should appear
+}
+
+TEST(RngTest, UniformIntDegenerate) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntBadRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsPlausible) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleSingletonAndEmptyAreNoops) {
+  Rng rng(23);
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  rng.shuffle(empty);
+  rng.shuffle(one);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one.front(), 42);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(31);
+  const auto sample = rng.sample_indices(20, 8);
+  ASSERT_EQ(sample.size(), 8u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const auto index : sample) EXPECT_LT(index, 20u);
+}
+
+TEST(RngTest, SampleIndicesFullAndOverflow) {
+  Rng rng(31);
+  EXPECT_EQ(rng.sample_indices(5, 5).size(), 5u);
+  EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  const Rng parent(77);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(0);
+  Rng c = parent.fork(1);
+  EXPECT_EQ(a.next(), b.next());
+  // Streams 0 and 1 should differ immediately with high probability.
+  Rng a2 = parent.fork(0);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(RngTest, PickThrowsOnEmpty) {
+  Rng rng(1);
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(std::span<const int>(empty)),
+               std::invalid_argument);
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng(1);
+  const std::vector<int> items{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(std::span<const int>(items));
+    EXPECT_TRUE(v == 5 || v == 6 || v == 7);
+  }
+}
+
+}  // namespace
+}  // namespace ostro::util

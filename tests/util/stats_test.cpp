@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ostro::util {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, NegativeValues) {
+  Accumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(SamplesTest, MeanAndStddev) {
+  Samples s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(SamplesTest, PercentileSingleValue) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+TEST(SamplesTest, PercentileAfterLaterAdds) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);  // cache must invalidate
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SamplesTest, ErrorsOnEmptyAndBadP) {
+  Samples s;
+  EXPECT_THROW((void)s.percentile(50.0), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(SamplesTest, EmptyMeanIsZero) {
+  const Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace ostro::util

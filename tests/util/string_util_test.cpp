@@ -1,0 +1,58 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ostro::util {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(FormatTest, PrintfSemantics) {
+  EXPECT_EQ(format("x=%d y=%.2f s=%s", 3, 1.5, "ok"), "x=3 y=1.50 s=ok");
+  EXPECT_EQ(format("%s", ""), "");
+  // Long output beyond any small internal buffer.
+  const std::string long_arg(500, 'a');
+  EXPECT_EQ(format("%s", long_arg.c_str()).size(), 500u);
+}
+
+TEST(ParseIntListTest, ValidLists) {
+  EXPECT_EQ(parse_int_list("1,2,3"), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(parse_int_list(" 25 , 50 "), (std::vector<int>{25, 50}));
+  EXPECT_EQ(parse_int_list("-7"), (std::vector<int>{-7}));
+}
+
+TEST(ParseIntListTest, MalformedThrows) {
+  EXPECT_THROW((void)parse_int_list("1,,2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int_list("a"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int_list("1x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int_list(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ostro::util

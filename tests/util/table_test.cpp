@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ostro::util {
+namespace {
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"Algo", "Bandwidth"});
+  table.add_row({"EG", "2000"});
+  table.add_row({"DBA*", "1980"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Algo"), std::string::npos);
+  EXPECT_NE(out.find("DBA*"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "x,y"});
+  table.add_row({"he said \"hi\"", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,\"x,y\"\n\"he said \"\"hi\"\"\",2\n");
+}
+
+TEST(TablePrinterTest, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, NoHeadersThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::cell(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::cell(std::int64_t{42}), "42");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ostro::util

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ostro::util {
+namespace {
+
+TEST(ThreadPoolTest, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  // n < 2*workers runs inline and therefore in order.
+  pool.parallel_for(3, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long> partial(1000);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    partial[i] = static_cast<long>(i);
+  });
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L),
+            999L * 1000L / 2);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace ostro::util

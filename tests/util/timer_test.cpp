@@ -1,0 +1,67 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ostro::util {
+namespace {
+
+TEST(WallTimerTest, ElapsedGrowsMonotonically) {
+  WallTimer timer;
+  const double t0 = timer.elapsed_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double t1 = timer.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(t1, 0.004);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), 0.004);
+}
+
+TEST(WallTimerTest, MillisMatchSeconds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double s = timer.elapsed_seconds();
+  const double ms = timer.elapsed_millis();
+  EXPECT_NEAR(ms, s * 1000.0, 5.0);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  const Deadline deadline = Deadline::unlimited();
+  EXPECT_TRUE(deadline.is_unlimited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 1e9);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsUnlimited) {
+  const Deadline deadline(-1.0);
+  EXPECT_TRUE(deadline.is_unlimited());
+  EXPECT_FALSE(deadline.expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  const Deadline deadline(0.01);
+  EXPECT_FALSE(deadline.is_unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, RemainingDecreases) {
+  const Deadline deadline(10.0);
+  const double r0 = deadline.remaining_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double r1 = deadline.remaining_seconds();
+  EXPECT_LT(r1, r0);
+  EXPECT_GT(r1, 9.0);
+  EXPECT_DOUBLE_EQ(deadline.budget_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace ostro::util

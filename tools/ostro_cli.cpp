@@ -1,0 +1,190 @@
+// ostro — command-line front end for the placement engine.
+//
+// Usage:
+//   ostro place    --datacenter dc.json --template app.json
+//                  [--occupancy occ.json] [--algorithm eg|egc|egbw|ba|dba]
+//                  [--deadline SECONDS] [--theta-bw X --theta-c Y]
+//                  [--out placement.json] [--annotated annotated.json]
+//                  [--commit-out occ2.json]
+//   ostro validate --datacenter dc.json --template app.json
+//                  --placement placement.json [--occupancy occ.json]
+//   ostro report   --datacenter dc.json [--occupancy occ.json]
+//
+// All files are JSON: the data-center grammar lives in
+// src/datacenter/dc_io.h, the QoS-enhanced Heat template grammar in
+// src/openstack/heat_template.h, placements in src/core/placement_io.h.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/placement_io.h"
+#include "core/scheduler.h"
+#include "core/verify.h"
+#include "datacenter/dc_io.h"
+#include "datacenter/dot.h"
+#include "datacenter/report.h"
+#include "net/reservation.h"
+#include "openstack/heat_template.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace ostro;
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write " + path);
+  file << content << '\n';
+}
+
+dc::Occupancy load_occupancy(const dc::DataCenter& datacenter,
+                             const std::string& path) {
+  if (path.empty()) return dc::Occupancy(datacenter);
+  return dc::occupancy_from_text(datacenter, read_file(path));
+}
+
+int cmd_place(util::ArgParser& args) {
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto occupancy =
+      load_occupancy(datacenter, args.get_string("occupancy"));
+  const auto parsed =
+      os::HeatTemplate::parse_text(read_file(args.get_string("template")));
+
+  core::SearchConfig config;
+  config.theta_bw = args.get_double("theta-bw");
+  config.theta_c = args.get_double("theta-c");
+  config.deadline_seconds = args.get_double("deadline");
+  const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
+
+  const core::Placement placement = core::place_topology(
+      occupancy, parsed.topology, algorithm, config, nullptr, nullptr);
+  if (!placement.feasible) {
+    std::cerr << "no feasible placement: " << placement.failure_reason
+              << "\n";
+    return 2;
+  }
+  std::cout << "placed " << parsed.topology.node_count() << " nodes with "
+            << core::to_string(algorithm) << ": utility "
+            << placement.utility << ", "
+            << placement.reserved_bandwidth_mbps << " Mbps reserved, "
+            << placement.new_active_hosts << " newly active hosts"
+            << (placement.bandwidth_overcommitted
+                    ? " (WARNING: overcommits link bandwidth)"
+                    : "")
+            << "\n";
+  const std::string placement_text =
+      core::placement_to_text(placement, parsed.topology, datacenter);
+  if (args.get_string("out").empty()) {
+    std::cout << placement_text << "\n";
+  } else {
+    write_file(args.get_string("out"), placement_text);
+  }
+  if (!args.get_string("annotated").empty()) {
+    const auto document =
+        util::Json::parse(read_file(args.get_string("template")));
+    write_file(args.get_string("annotated"),
+               os::annotate_with_placement(document, parsed,
+                                           placement.assignment, datacenter)
+                   .pretty());
+  }
+  if (!args.get_string("dot").empty()) {
+    write_file(args.get_string("dot"),
+               dc::placement_to_dot(parsed.topology, placement.assignment,
+                                    datacenter));
+  }
+  if (!args.get_string("commit-out").empty()) {
+    if (placement.bandwidth_overcommitted) {
+      std::cerr << "refusing to commit an overcommitted placement\n";
+      return 2;
+    }
+    dc::Occupancy committed = occupancy;
+    net::commit_placement(committed, parsed.topology, placement.assignment);
+    write_file(args.get_string("commit-out"),
+               dc::occupancy_to_json(committed).pretty());
+  }
+  return 0;
+}
+
+int cmd_validate(util::ArgParser& args) {
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto occupancy =
+      load_occupancy(datacenter, args.get_string("occupancy"));
+  const auto parsed =
+      os::HeatTemplate::parse_text(read_file(args.get_string("template")));
+  try {
+    const core::Placement placement = core::placement_from_text(
+        read_file(args.get_string("placement")), parsed.topology, occupancy,
+        core::SearchConfig{});
+    std::cout << "placement is valid: utility " << placement.utility << ", "
+              << placement.reserved_bandwidth_mbps << " Mbps reserved\n";
+    return 0;
+  } catch (const core::PlacementIoError& e) {
+    std::cerr << "placement is INVALID: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_report(util::ArgParser& args) {
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto occupancy =
+      load_occupancy(datacenter, args.get_string("occupancy"));
+  std::cout << dc::utilization_report(occupancy).to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: ostro <place|validate|report> [options]\n"
+                 "       ostro <command> --help\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+  util::ArgParser args("ostro " + command,
+                       "Ostro placement engine command-line front end");
+  args.add_string("datacenter", "", "data-center JSON (required)");
+  args.add_string("occupancy", "", "occupancy snapshot JSON (optional)");
+  if (command == "place" || command == "validate") {
+    args.add_string("template", "", "QoS-enhanced Heat template JSON");
+  }
+  if (command == "place") {
+    args.add_string("algorithm", "eg", "eg | egc | egbw | ba | dba");
+    args.add_double("deadline", 0.0, "DBA* deadline (seconds)");
+    args.add_double("theta-bw", 0.6, "bandwidth objective weight");
+    args.add_double("theta-c", 0.4, "host-count objective weight");
+    args.add_string("out", "", "write placement JSON here (default stdout)");
+    args.add_string("annotated", "", "write annotated template here");
+    args.add_string("dot", "", "write a Graphviz rendering of the placement");
+    args.add_string("commit-out", "", "write post-commit occupancy here");
+  }
+  if (command == "validate") {
+    args.add_string("placement", "", "placement JSON to validate");
+  }
+
+  try {
+    if (!args.parse(argc - 1, argv + 1)) return 0;
+    if (args.get_string("datacenter").empty()) {
+      throw std::runtime_error("--datacenter is required");
+    }
+    if (command == "place") return cmd_place(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "report") return cmd_report(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
