@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_theta.dir/bench_ablation_theta.cpp.o"
+  "CMakeFiles/bench_ablation_theta.dir/bench_ablation_theta.cpp.o.d"
+  "bench_ablation_theta"
+  "bench_ablation_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

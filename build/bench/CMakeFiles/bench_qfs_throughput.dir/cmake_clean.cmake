@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qfs_throughput.dir/bench_qfs_throughput.cpp.o"
+  "CMakeFiles/bench_qfs_throughput.dir/bench_qfs_throughput.cpp.o.d"
+  "bench_qfs_throughput"
+  "bench_qfs_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qfs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

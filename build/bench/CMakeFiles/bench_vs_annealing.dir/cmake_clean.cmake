@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_annealing.dir/bench_vs_annealing.cpp.o"
+  "CMakeFiles/bench_vs_annealing.dir/bench_vs_annealing.cpp.o.d"
+  "bench_vs_annealing"
+  "bench_vs_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

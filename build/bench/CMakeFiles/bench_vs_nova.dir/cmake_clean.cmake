@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_nova.dir/bench_vs_nova.cpp.o"
+  "CMakeFiles/bench_vs_nova.dir/bench_vs_nova.cpp.o.d"
+  "bench_vs_nova"
+  "bench_vs_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_template.dir/heat_template.cpp.o"
+  "CMakeFiles/heat_template.dir/heat_template.cpp.o.d"
+  "heat_template"
+  "heat_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_scaling.dir/mesh_scaling.cpp.o"
+  "CMakeFiles/mesh_scaling.dir/mesh_scaling.cpp.o.d"
+  "mesh_scaling"
+  "mesh_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

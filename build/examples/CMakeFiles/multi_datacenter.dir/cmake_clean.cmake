@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_datacenter.dir/multi_datacenter.cpp.o"
+  "CMakeFiles/multi_datacenter.dir/multi_datacenter.cpp.o.d"
+  "multi_datacenter"
+  "multi_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_placement.dir/qfs_placement.cpp.o"
+  "CMakeFiles/qfs_placement.dir/qfs_placement.cpp.o.d"
+  "qfs_placement"
+  "qfs_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cpp" "src/core/CMakeFiles/ostro_core.dir/annealing.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/annealing.cpp.o.d"
+  "/root/repo/src/core/astar.cpp" "src/core/CMakeFiles/ostro_core.dir/astar.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/astar.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/ostro_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/ostro_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/ostro_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/ostro_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/ostro_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/partial.cpp" "src/core/CMakeFiles/ostro_core.dir/partial.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/partial.cpp.o.d"
+  "/root/repo/src/core/placement_io.cpp" "src/core/CMakeFiles/ostro_core.dir/placement_io.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/placement_io.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/ostro_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/symmetry.cpp" "src/core/CMakeFiles/ostro_core.dir/symmetry.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/symmetry.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/ostro_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/types.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/ostro_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/ostro_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

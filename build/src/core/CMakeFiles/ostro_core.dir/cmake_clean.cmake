@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_core.dir/annealing.cpp.o"
+  "CMakeFiles/ostro_core.dir/annealing.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/astar.cpp.o"
+  "CMakeFiles/ostro_core.dir/astar.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/brute_force.cpp.o"
+  "CMakeFiles/ostro_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/candidates.cpp.o"
+  "CMakeFiles/ostro_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/estimator.cpp.o"
+  "CMakeFiles/ostro_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/greedy.cpp.o"
+  "CMakeFiles/ostro_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/objective.cpp.o"
+  "CMakeFiles/ostro_core.dir/objective.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/partial.cpp.o"
+  "CMakeFiles/ostro_core.dir/partial.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/placement_io.cpp.o"
+  "CMakeFiles/ostro_core.dir/placement_io.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/scheduler.cpp.o"
+  "CMakeFiles/ostro_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/symmetry.cpp.o"
+  "CMakeFiles/ostro_core.dir/symmetry.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/types.cpp.o"
+  "CMakeFiles/ostro_core.dir/types.cpp.o.d"
+  "CMakeFiles/ostro_core.dir/verify.cpp.o"
+  "CMakeFiles/ostro_core.dir/verify.cpp.o.d"
+  "libostro_core.a"
+  "libostro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

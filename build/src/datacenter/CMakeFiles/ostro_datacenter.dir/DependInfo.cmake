@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/datacenter.cpp" "src/datacenter/CMakeFiles/ostro_datacenter.dir/datacenter.cpp.o" "gcc" "src/datacenter/CMakeFiles/ostro_datacenter.dir/datacenter.cpp.o.d"
+  "/root/repo/src/datacenter/dc_io.cpp" "src/datacenter/CMakeFiles/ostro_datacenter.dir/dc_io.cpp.o" "gcc" "src/datacenter/CMakeFiles/ostro_datacenter.dir/dc_io.cpp.o.d"
+  "/root/repo/src/datacenter/dot.cpp" "src/datacenter/CMakeFiles/ostro_datacenter.dir/dot.cpp.o" "gcc" "src/datacenter/CMakeFiles/ostro_datacenter.dir/dot.cpp.o.d"
+  "/root/repo/src/datacenter/occupancy.cpp" "src/datacenter/CMakeFiles/ostro_datacenter.dir/occupancy.cpp.o" "gcc" "src/datacenter/CMakeFiles/ostro_datacenter.dir/occupancy.cpp.o.d"
+  "/root/repo/src/datacenter/report.cpp" "src/datacenter/CMakeFiles/ostro_datacenter.dir/report.cpp.o" "gcc" "src/datacenter/CMakeFiles/ostro_datacenter.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

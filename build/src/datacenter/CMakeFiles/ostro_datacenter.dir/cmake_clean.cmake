@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_datacenter.dir/datacenter.cpp.o"
+  "CMakeFiles/ostro_datacenter.dir/datacenter.cpp.o.d"
+  "CMakeFiles/ostro_datacenter.dir/dc_io.cpp.o"
+  "CMakeFiles/ostro_datacenter.dir/dc_io.cpp.o.d"
+  "CMakeFiles/ostro_datacenter.dir/dot.cpp.o"
+  "CMakeFiles/ostro_datacenter.dir/dot.cpp.o.d"
+  "CMakeFiles/ostro_datacenter.dir/occupancy.cpp.o"
+  "CMakeFiles/ostro_datacenter.dir/occupancy.cpp.o.d"
+  "CMakeFiles/ostro_datacenter.dir/report.cpp.o"
+  "CMakeFiles/ostro_datacenter.dir/report.cpp.o.d"
+  "libostro_datacenter.a"
+  "libostro_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

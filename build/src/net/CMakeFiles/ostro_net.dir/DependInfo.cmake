@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/maxmin.cpp" "src/net/CMakeFiles/ostro_net.dir/maxmin.cpp.o" "gcc" "src/net/CMakeFiles/ostro_net.dir/maxmin.cpp.o.d"
+  "/root/repo/src/net/reservation.cpp" "src/net/CMakeFiles/ostro_net.dir/reservation.cpp.o" "gcc" "src/net/CMakeFiles/ostro_net.dir/reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

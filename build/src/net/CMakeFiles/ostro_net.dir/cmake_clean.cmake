@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_net.dir/maxmin.cpp.o"
+  "CMakeFiles/ostro_net.dir/maxmin.cpp.o.d"
+  "CMakeFiles/ostro_net.dir/reservation.cpp.o"
+  "CMakeFiles/ostro_net.dir/reservation.cpp.o.d"
+  "libostro_net.a"
+  "libostro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

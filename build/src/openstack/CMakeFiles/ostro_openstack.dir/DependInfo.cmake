@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openstack/heat_engine.cpp" "src/openstack/CMakeFiles/ostro_openstack.dir/heat_engine.cpp.o" "gcc" "src/openstack/CMakeFiles/ostro_openstack.dir/heat_engine.cpp.o.d"
+  "/root/repo/src/openstack/heat_template.cpp" "src/openstack/CMakeFiles/ostro_openstack.dir/heat_template.cpp.o" "gcc" "src/openstack/CMakeFiles/ostro_openstack.dir/heat_template.cpp.o.d"
+  "/root/repo/src/openstack/nova.cpp" "src/openstack/CMakeFiles/ostro_openstack.dir/nova.cpp.o" "gcc" "src/openstack/CMakeFiles/ostro_openstack.dir/nova.cpp.o.d"
+  "/root/repo/src/openstack/ostro_wrapper.cpp" "src/openstack/CMakeFiles/ostro_openstack.dir/ostro_wrapper.cpp.o" "gcc" "src/openstack/CMakeFiles/ostro_openstack.dir/ostro_wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ostro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

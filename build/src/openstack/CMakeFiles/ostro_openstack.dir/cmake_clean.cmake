@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_openstack.dir/heat_engine.cpp.o"
+  "CMakeFiles/ostro_openstack.dir/heat_engine.cpp.o.d"
+  "CMakeFiles/ostro_openstack.dir/heat_template.cpp.o"
+  "CMakeFiles/ostro_openstack.dir/heat_template.cpp.o.d"
+  "CMakeFiles/ostro_openstack.dir/nova.cpp.o"
+  "CMakeFiles/ostro_openstack.dir/nova.cpp.o.d"
+  "CMakeFiles/ostro_openstack.dir/ostro_wrapper.cpp.o"
+  "CMakeFiles/ostro_openstack.dir/ostro_wrapper.cpp.o.d"
+  "libostro_openstack.a"
+  "libostro_openstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_openstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_qfs.dir/qfs.cpp.o"
+  "CMakeFiles/ostro_qfs.dir/qfs.cpp.o.d"
+  "libostro_qfs.a"
+  "libostro_qfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_qfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

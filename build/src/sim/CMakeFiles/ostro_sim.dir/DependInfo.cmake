@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clusters.cpp" "src/sim/CMakeFiles/ostro_sim.dir/clusters.cpp.o" "gcc" "src/sim/CMakeFiles/ostro_sim.dir/clusters.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/ostro_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/ostro_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/sim/CMakeFiles/ostro_sim.dir/workloads.cpp.o" "gcc" "src/sim/CMakeFiles/ostro_sim.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ostro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

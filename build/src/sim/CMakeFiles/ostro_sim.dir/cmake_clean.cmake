@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_sim.dir/clusters.cpp.o"
+  "CMakeFiles/ostro_sim.dir/clusters.cpp.o.d"
+  "CMakeFiles/ostro_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ostro_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ostro_sim.dir/workloads.cpp.o"
+  "CMakeFiles/ostro_sim.dir/workloads.cpp.o.d"
+  "libostro_sim.a"
+  "libostro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_topology.dir/app_topology.cpp.o"
+  "CMakeFiles/ostro_topology.dir/app_topology.cpp.o.d"
+  "CMakeFiles/ostro_topology.dir/resources.cpp.o"
+  "CMakeFiles/ostro_topology.dir/resources.cpp.o.d"
+  "libostro_topology.a"
+  "libostro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

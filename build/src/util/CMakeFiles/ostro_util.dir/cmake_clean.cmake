@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_util.dir/args.cpp.o"
+  "CMakeFiles/ostro_util.dir/args.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/json.cpp.o"
+  "CMakeFiles/ostro_util.dir/json.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/logging.cpp.o"
+  "CMakeFiles/ostro_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/rng.cpp.o"
+  "CMakeFiles/ostro_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/stats.cpp.o"
+  "CMakeFiles/ostro_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/string_util.cpp.o"
+  "CMakeFiles/ostro_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/table.cpp.o"
+  "CMakeFiles/ostro_util.dir/table.cpp.o.d"
+  "CMakeFiles/ostro_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ostro_util.dir/thread_pool.cpp.o.d"
+  "libostro_util.a"
+  "libostro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

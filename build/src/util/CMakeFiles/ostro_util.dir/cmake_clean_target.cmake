@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libostro_util.a"
+)

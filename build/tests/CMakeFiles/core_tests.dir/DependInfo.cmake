@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/annealing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/annealing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/annealing_test.cpp.o.d"
+  "/root/repo/tests/core/astar_stats_test.cpp" "tests/CMakeFiles/core_tests.dir/core/astar_stats_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/astar_stats_test.cpp.o.d"
+  "/root/repo/tests/core/astar_test.cpp" "tests/CMakeFiles/core_tests.dir/core/astar_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/astar_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/candidates_test.cpp" "tests/CMakeFiles/core_tests.dir/core/candidates_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/candidates_test.cpp.o.d"
+  "/root/repo/tests/core/dba_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dba_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dba_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/core_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "/root/repo/tests/core/incremental_test.cpp" "tests/CMakeFiles/core_tests.dir/core/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/incremental_test.cpp.o.d"
+  "/root/repo/tests/core/multilevel_zone_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multilevel_zone_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multilevel_zone_test.cpp.o.d"
+  "/root/repo/tests/core/objective_test.cpp" "tests/CMakeFiles/core_tests.dir/core/objective_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/objective_test.cpp.o.d"
+  "/root/repo/tests/core/partial_test.cpp" "tests/CMakeFiles/core_tests.dir/core/partial_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partial_test.cpp.o.d"
+  "/root/repo/tests/core/placement_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/placement_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/placement_io_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/symmetry_test.cpp" "tests/CMakeFiles/core_tests.dir/core/symmetry_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/symmetry_test.cpp.o.d"
+  "/root/repo/tests/core/verify_test.cpp" "tests/CMakeFiles/core_tests.dir/core/verify_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/verify_test.cpp.o.d"
+  "/root/repo/tests/core/wan_property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/wan_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wan_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ostro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openstack/CMakeFiles/ostro_openstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/qfs/CMakeFiles/ostro_qfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ostro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

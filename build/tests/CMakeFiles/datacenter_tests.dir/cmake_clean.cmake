@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_tests.dir/datacenter/datacenter_test.cpp.o"
+  "CMakeFiles/datacenter_tests.dir/datacenter/datacenter_test.cpp.o.d"
+  "CMakeFiles/datacenter_tests.dir/datacenter/dc_io_test.cpp.o"
+  "CMakeFiles/datacenter_tests.dir/datacenter/dc_io_test.cpp.o.d"
+  "CMakeFiles/datacenter_tests.dir/datacenter/dot_test.cpp.o"
+  "CMakeFiles/datacenter_tests.dir/datacenter/dot_test.cpp.o.d"
+  "CMakeFiles/datacenter_tests.dir/datacenter/occupancy_test.cpp.o"
+  "CMakeFiles/datacenter_tests.dir/datacenter/occupancy_test.cpp.o.d"
+  "CMakeFiles/datacenter_tests.dir/datacenter/report_test.cpp.o"
+  "CMakeFiles/datacenter_tests.dir/datacenter/report_test.cpp.o.d"
+  "datacenter_tests"
+  "datacenter_tests.pdb"
+  "datacenter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

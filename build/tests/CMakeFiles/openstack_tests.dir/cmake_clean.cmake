@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openstack_tests.dir/openstack/extensions_flow_test.cpp.o"
+  "CMakeFiles/openstack_tests.dir/openstack/extensions_flow_test.cpp.o.d"
+  "CMakeFiles/openstack_tests.dir/openstack/heat_engine_test.cpp.o"
+  "CMakeFiles/openstack_tests.dir/openstack/heat_engine_test.cpp.o.d"
+  "CMakeFiles/openstack_tests.dir/openstack/heat_template_test.cpp.o"
+  "CMakeFiles/openstack_tests.dir/openstack/heat_template_test.cpp.o.d"
+  "CMakeFiles/openstack_tests.dir/openstack/nova_test.cpp.o"
+  "CMakeFiles/openstack_tests.dir/openstack/nova_test.cpp.o.d"
+  "CMakeFiles/openstack_tests.dir/openstack/wrapper_test.cpp.o"
+  "CMakeFiles/openstack_tests.dir/openstack/wrapper_test.cpp.o.d"
+  "openstack_tests"
+  "openstack_tests.pdb"
+  "openstack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openstack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_tests.dir/qfs/qfs_test.cpp.o"
+  "CMakeFiles/qfs_tests.dir/qfs/qfs_test.cpp.o.d"
+  "qfs_tests"
+  "qfs_tests.pdb"
+  "qfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

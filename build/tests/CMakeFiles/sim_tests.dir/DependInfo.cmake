@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/clusters_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/clusters_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/clusters_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/wan_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/wan_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/wan_test.cpp.o.d"
+  "/root/repo/tests/sim/workloads_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ostro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openstack/CMakeFiles/ostro_openstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/qfs/CMakeFiles/ostro_qfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ostro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

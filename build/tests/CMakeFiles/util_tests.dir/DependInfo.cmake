@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/util_tests.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/CMakeFiles/util_tests.dir/util/json_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/json_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/string_util_test.cpp" "tests/CMakeFiles/util_tests.dir/util/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/string_util_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/timer_test.cpp" "tests/CMakeFiles/util_tests.dir/util/timer_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ostro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openstack/CMakeFiles/ostro_openstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/qfs/CMakeFiles/ostro_qfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ostro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ostro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/ostro_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ostro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ostro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostro_cli.dir/ostro_cli.cpp.o"
+  "CMakeFiles/ostro_cli.dir/ostro_cli.cpp.o.d"
+  "ostro"
+  "ostro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
