@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(args);
   args.add_string("sizes", "10,15,20", "multi-tier sizes (multiples of 5)");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   util::TablePrinter table({"Size", "Mode", "Utility", "Bandwidth (Mbps)",
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "BA* with vs without diversity-zone symmetry reduction "
               "(homogeneous multi-tier on the idle testbed)");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   args.add_string("theta-c-percent", "1,10,40,75,95",
                   "theta_c values in percent");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   const auto app = sim::make_qfs();
@@ -48,5 +49,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "theta sweep: bandwidth vs host-count tradeoff (QFS, "
               "non-uniform testbed)");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
                   "homogeneous sizes (VMs, multiples of 5)");
   args.add_int("racks", 150, "data-center racks (16 hosts each)");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto algorithms = bench::figure_algorithms();
   for (const auto mix : {sim::RequirementMix::kHeterogeneous,
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
           "total used hosts", args, "Figure 11 (mesh, " + suffix + ")");
     }
   }
+  bench::emit_metrics(args);
   return 0;
 }

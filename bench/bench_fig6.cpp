@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   args.add_int("vms", 200, "multi-tier size");
   args.add_int("racks", 150, "data-center racks (16 hosts each)");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter =
       sim::make_sim_datacenter(static_cast<int>(args.get_int("racks")));
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
               util::format("Figure 6: DBA* T vs optimality (multi-tier %d "
                            "VMs, heterogeneous, non-uniform DC)",
                            static_cast<int>(args.get_int("vms"))));
+  bench::emit_metrics(args);
   return 0;
 }

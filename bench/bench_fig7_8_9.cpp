@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
                   "topology sizes (--full: 25,50,75,100,125,150,175,200)");
   args.add_int("racks", 150, "data-center racks (16 hosts each)");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const std::vector<int> sizes =
       args.flag("full")
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
         },
         "run time (sec)", args, "Figure 9 (multi-tier, " + suffix + ")");
   }
+  bench::emit_metrics(args);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "net/maxmin.h"
 #include "sim/clusters.h"
 #include "sim/workloads.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -155,6 +156,32 @@ void BM_VerifySignatureDetect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VerifySignatureDetect);
+
+// Per-event cost of the observability layer itself, enabled vs disabled —
+// the margin every instrumented hot path pays (ISSUE acceptance: enabled
+// must stay within 2% on the placement micro-benchmarks above).
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  util::metrics::set_enabled(true);
+  auto& counter = util::metrics::counter("bench.micro_counter");
+  for (auto _ : state) counter.inc();
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  util::metrics::set_enabled(false);
+  auto& counter = util::metrics::counter("bench.micro_counter");
+  for (auto _ : state) counter.inc();
+  util::metrics::set_enabled(true);
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsSummaryObserve(benchmark::State& state) {
+  util::metrics::set_enabled(true);
+  auto& summary = util::metrics::summary("bench.micro_summary");
+  double v = 0.0;
+  for (auto _ : state) summary.observe(v += 1.0);
+}
+BENCHMARK(BM_MetricsSummaryObserve);
 
 }  // namespace
 

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   args.add_double("grow-percent", 10.0, "VMs added, % of initial size");
   args.add_double("delta-deadline", 0.5, "DBA* deadline for the re-place");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const int vms = static_cast<int>(args.get_int("vms"));
   const int extra =
@@ -112,5 +113,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               util::format("Section IV-E: online adaptation (%d VMs +%.0f%%)",
                            vms, args.get_double("grow-percent")));
+  bench::emit_metrics(args);
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   args.add_double("offered", 16000.0, "aggregate offered load (Mbps)");
   args.add_int("replication", 2, "QFS replication factor");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   const auto app = sim::make_qfs();
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
                            "replication %d, non-uniform testbed)",
                            args.get_double("file-mb"),
                            static_cast<int>(args.get_int("replication"))));
+  bench::emit_metrics(args);
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   args.add_double("theta-c", 0.01, "theta_c (paper: 0.01, then 0.4)");
   args.add_double("deadline", 0.5, "DBA* deadline T in seconds");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   const auto app = sim::make_qfs();
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
                            1.0 - args.get_double("theta-c"),
                            args.get_double("theta-c"),
                            args.get_double("deadline")));
+  bench::emit_metrics(args);
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(args);
   args.add_double("deadline", 0.5, "DBA* deadline T in seconds");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   const auto app = sim::make_qfs();
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
   table.add_row(hosts);
   table.add_row(runtime);
   bench::emit(table, args, "Table II: QFS, uniform availability");
+  bench::emit_metrics(args);
   return 0;
 }

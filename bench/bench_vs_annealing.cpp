@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   args.add_string("sizes", "25,50,100", "multi-tier sizes");
   args.add_int("racks", 50, "data-center racks");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter =
       sim::make_sim_datacenter(static_cast<int>(args.get_int("racks")));
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "DBA* vs simulated annealing, equal wall-clock budgets "
               "(heterogeneous multi-tier, non-uniform DC)");
+  bench::emit_metrics(args);
   return 0;
 }

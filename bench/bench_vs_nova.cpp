@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(args);
   args.add_int("stacks", 3, "QFS stacks deployed back to back");
   if (!args.parse(argc, argv)) return 0;
+  bench::apply_metrics_flags(args);
 
   const auto datacenter = sim::make_testbed();
   const std::string text = qfs_template();
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "Holistic (Ostro) vs per-request (Nova/Cinder) deployment of "
               "QFS stacks on the testbed");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "sim/experiment.h"
 #include "sim/workloads.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -47,6 +48,23 @@ inline void add_common_flags(util::ArgParser& args) {
   args.add_int("runs", 2, "repetitions per cell (paper: 20)");
   args.add_int("seed", 42, "base RNG seed");
   args.add_flag("full", "run the paper's full size sweep (slower)");
+  args.add_flag("metrics",
+                "dump the metrics registry as a JSON block after the tables");
+  args.add_flag("no-metrics", "disable metrics collection for this run");
+}
+
+/// Applies the --no-metrics switch; call once after parsing.
+inline void apply_metrics_flags(const util::ArgParser& args) {
+  if (args.flag("no-metrics")) util::metrics::set_enabled(false);
+}
+
+/// Prints the metrics registry as a labelled JSON block when --metrics was
+/// given.  Call at the end of main, after the tables: the block is what the
+/// BENCH_*.json collectors pick up next to the timings.
+inline void emit_metrics(const util::ArgParser& args) {
+  if (!args.flag("metrics")) return;
+  std::cout << "\n== metrics ==\n"
+            << util::metrics::Registry::global().to_json().pretty() << "\n";
 }
 
 /// Prints `table` as text or CSV per the --csv flag.

@@ -13,6 +13,7 @@
 #include "core/estimator.h"
 #include "core/greedy.h"
 #include "core/symmetry.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -215,6 +216,32 @@ struct Incumbent {
 
 AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
                        bool deadline_bounded, util::ThreadPool* pool) {
+  // Process-wide counters mirroring the per-run SearchStats; BA* and DBA*
+  // share the "astar." namespace.
+  static util::metrics::Counter& m_runs = util::metrics::counter("astar.runs");
+  static util::metrics::Counter& m_expanded =
+      util::metrics::counter("astar.nodes_expanded");
+  static util::metrics::Counter& m_generated =
+      util::metrics::counter("astar.paths_generated");
+  static util::metrics::Counter& m_pruned_bound =
+      util::metrics::counter("astar.paths_pruned_bound");
+  static util::metrics::Counter& m_pruned_random =
+      util::metrics::counter("astar.paths_pruned_random");
+  static util::metrics::Counter& m_deduped =
+      util::metrics::counter("astar.paths_deduped");
+  static util::metrics::Counter& m_symmetry =
+      util::metrics::counter("astar.symmetry_candidates_pruned");
+  static util::metrics::Counter& m_eg_reruns =
+      util::metrics::counter("astar.eg_reruns");
+  static util::metrics::Summary& m_open_size =
+      util::metrics::summary("astar.open_queue_size");
+  static util::metrics::Summary& m_run_seconds =
+      util::metrics::summary("astar.run_seconds");
+  static util::metrics::Summary& m_eg_seconds =
+      util::metrics::summary("astar.eg_rerun_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_run_seconds);
+  m_runs.inc();
+
   util::WallTimer timer;
   const topo::AppTopology& topology = initial.topology();
 
@@ -261,9 +288,13 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   const auto run_eg = [&](const PartialPlacement& from) {
     const util::WallTimer eg_timer;
     ++stats.eg_reruns;
+    m_eg_reruns.inc();
     GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool);
+    stats.candidates_evaluated += eg.stats.candidates_evaluated;
+    stats.heuristic_calls += eg.stats.heuristic_calls;
     if (eg.feasible) incumbent.offer(std::move(eg.state));
     last_eg_seconds = eg_timer.elapsed_seconds();
+    m_eg_seconds.observe(last_eg_seconds);
   };
   run_eg(initial);
   // Re-bounding cadence: a full EG completion costs seconds at paper scale,
@@ -293,6 +324,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   open.push({nullptr, topo::kInvalidNode, dc::kInvalidHost,
              initial.utility_bound(), !sharp_ordering, 0, sequence++});
   ++stats.paths_generated;
+  m_generated.inc();
 
   // DBA* machinery.
   util::Rng rng(config.seed);
@@ -323,6 +355,8 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
                     incumbent.state ? "" : "deadline expired with no solution");
     }
 
+    stats.open_queue_peak =
+        std::max<std::uint64_t>(stats.open_queue_peak, open.size());
     PathEntry entry = open.top();
     open.pop();
     ++pops_total;
@@ -352,6 +386,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     const double exact_bound = state->utility_bound();
     if (exact_bound >= incumbent.utility - kEps) {
       ++stats.paths_pruned_bound;
+      m_pruned_bound.inc();
       open_by_depth[entry.depth] -= 1.0;
       continue;
     }
@@ -391,6 +426,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     const std::uint64_t signature = canonical_signature(*state, groups);
     if (!closed.insert(signature).second) {
       ++stats.paths_deduped;
+      m_deduped.inc();
       continue;
     }
 
@@ -423,6 +459,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     // Branch: all candidate hosts for the next free node (line 8).
     const topo::NodeId node = order[entry.depth];
     std::vector<dc::HostId> candidates = get_candidates(*state, node);
+    const std::size_t fan_before = candidates.size();
     if (config.symmetry_reduction && prev_in_group[entry.depth] >= 0) {
       const topo::NodeId prev =
           order[static_cast<std::size_t>(prev_in_group[entry.depth])];
@@ -431,8 +468,13 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
                     [floor_host](dc::HostId h) { return h < floor_host; });
     }
     dedupe_equivalent_hosts(*state, candidates);
+    const std::uint64_t symmetry_dropped = fan_before - candidates.size();
+    stats.symmetry_pruned += symmetry_dropped;
+    m_symmetry.add(symmetry_dropped);
 
     ++stats.paths_expanded;
+    m_expanded.inc();
+    m_open_size.observe(static_cast<double>(open.size()));
     std::uint64_t inserted = 0;
     const std::shared_ptr<const PartialPlacement> parent = state;
     struct Child {
@@ -456,10 +498,12 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
           parent->objective().utility(score.ubw + score.bound_rem, score.uc);
       if (bound_utility >= incumbent.utility - kEps) {  // line 11 bounding
         ++stats.paths_pruned_bound;
+        m_pruned_bound.inc();
         continue;
       }
       double order_utility = bound_utility;
       if (sharp_ordering) {
+        ++stats.heuristic_calls;
         const Estimate est =
             Estimator::candidate_estimate(*parent, node, host, rest_bound);
         order_utility = parent->objective().utility(
@@ -476,6 +520,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
                          static_cast<double>(order.size());
         if (rng.chance(prune_probability(prune_range, s))) {
           ++stats.paths_pruned_random;
+          m_pruned_random.inc();
           continue;
         }
       }
@@ -491,6 +536,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
           children.end());
       stats.paths_pruned_random +=
           children.size() - config.dba_beam_width;
+      m_pruned_random.add(children.size() - config.dba_beam_width);
       children.resize(config.dba_beam_width);
       std::sort(children.begin(), children.end());
     }
@@ -501,6 +547,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
       ++stats.paths_generated;
       ++inserted;
     }
+    m_generated.add(inserted);
     avg_branching = 0.9 * avg_branching + 0.1 * static_cast<double>(inserted);
     // Average pop cost over every pop so far (pruned pops are far cheaper
     // than expansions; an expansion-only average overestimates the load by

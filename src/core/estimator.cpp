@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace ostro::core {
 namespace {
 
@@ -48,6 +50,9 @@ double Estimator::rest_bound(const PartialPlacement& p, topo::NodeId node) {
 Estimate Estimator::candidate_estimate(const PartialPlacement& p,
                                        topo::NodeId node, dc::HostId host,
                                        double rest) {
+  static util::metrics::Counter& m_estimates =
+      util::metrics::counter("estimator.candidate_estimates");
+  m_estimates.inc();
   const topo::AppTopology& topology = p.topology();
   const dc::DataCenter& datacenter = p.datacenter();
 
@@ -212,6 +217,9 @@ Estimate Estimator::candidate_estimate(const PartialPlacement& p,
 }
 
 Estimate Estimator::imaginary_completion(const PartialPlacement& p) {
+  static util::metrics::Counter& m_completions =
+      util::metrics::counter("estimator.imaginary_completions");
+  m_completions.inc();
   const topo::AppTopology& topology = p.topology();
   const dc::DataCenter& datacenter = p.datacenter();
 

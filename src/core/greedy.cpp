@@ -6,6 +6,8 @@
 
 #include "core/candidates.h"
 #include "core/estimator.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace ostro::core {
 namespace {
@@ -193,6 +195,19 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
       variant != Algorithm::kEgBw) {
     throw std::invalid_argument("run_greedy: not a greedy variant");
   }
+  static util::metrics::Counter& m_runs = util::metrics::counter("greedy.runs");
+  static util::metrics::Counter& m_candidates =
+      util::metrics::counter("greedy.candidates_evaluated");
+  static util::metrics::Counter& m_placed =
+      util::metrics::counter("greedy.nodes_placed");
+  static util::metrics::Counter& m_failures =
+      util::metrics::counter("greedy.no_candidate_failures");
+  static util::metrics::Summary& m_seconds =
+      util::metrics::summary("greedy.run_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_seconds);
+  const util::WallTimer timer;
+  m_runs.inc();
+
   GreedyOutcome outcome(std::move(state));
   // EG_C is the paper's pure bin-packing baseline: it ignores the pipes
   // entirely, so its candidate set skips the bandwidth constraint and its
@@ -203,9 +218,17 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
     const std::vector<dc::HostId> candidates =
         get_candidates(outcome.state, node, check_bandwidth);
     if (candidates.empty()) {
+      m_failures.inc();
       outcome.failure = "no feasible host for node " +
                         outcome.state.topology().node(node).name;
+      outcome.stats.runtime_seconds = timer.elapsed_seconds();
       return outcome;
+    }
+    m_candidates.add(candidates.size());
+    outcome.stats.candidates_evaluated += candidates.size();
+    if (variant == Algorithm::kEg) {
+      // pick_eg scores every candidate with the estimate heuristic.
+      outcome.stats.heuristic_calls += candidates.size();
     }
     dc::HostId chosen = dc::kInvalidHost;
     switch (variant) {
@@ -222,11 +245,13 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
         break;  // unreachable; validated above
     }
     outcome.state.place(node, chosen);
+    m_placed.inc();
   }
   outcome.feasible = outcome.state.complete();
   if (!outcome.feasible && outcome.failure.empty()) {
     outcome.failure = "order did not cover all nodes";
   }
+  outcome.stats.runtime_seconds = timer.elapsed_seconds();
   return outcome;
 }
 

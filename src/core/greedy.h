@@ -40,6 +40,9 @@ struct GreedyOutcome {
   bool feasible = false;
   std::string failure;
   PartialPlacement state;
+  /// Greedy-side diagnostics: candidates_evaluated, heuristic_calls and
+  /// runtime_seconds are filled; the search-only fields stay zero.
+  SearchStats stats;
 
   explicit GreedyOutcome(PartialPlacement s) : state(std::move(s)) {}
 };

@@ -6,6 +6,7 @@
 #include "core/greedy.h"
 #include "core/objective.h"
 #include "net/reservation.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace ostro::core {
@@ -38,6 +39,14 @@ Placement place_topology(const dc::Occupancy& base,
                          const net::Assignment* pinned,
                          util::ThreadPool* pool) {
   config.validate();
+  static util::metrics::Counter& m_plans =
+      util::metrics::counter("scheduler.plans");
+  static util::metrics::Counter& m_infeasible =
+      util::metrics::counter("scheduler.plans_infeasible");
+  static util::metrics::Summary& m_plan_seconds =
+      util::metrics::summary("scheduler.plan_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_plan_seconds);
+  m_plans.inc();
   util::WallTimer timer;
 
   const Objective objective(topology, base.datacenter(), config);
@@ -53,6 +62,7 @@ Placement place_topology(const dc::Occupancy& base,
       const dc::HostId host = (*pinned)[v];
       if (host == dc::kInvalidHost) continue;
       if (!state.can_place(v, host)) {
+        m_infeasible.inc();
         Placement out;
         out.feasible = false;
         out.failure_reason = "pinned node " + topology.node(v).name +
@@ -73,8 +83,9 @@ Placement place_topology(const dc::Occupancy& base,
                              : eg_sort_order(topology);
       GreedyOutcome outcome =
           run_greedy(algorithm, std::move(state), order, pool);
+      if (!outcome.feasible) m_infeasible.inc();
       return to_placement(outcome.feasible, std::move(outcome.failure),
-                          std::move(outcome.state), SearchStats{},
+                          std::move(outcome.state), outcome.stats,
                           timer.elapsed_seconds());
     }
     case Algorithm::kBaStar:
@@ -82,6 +93,7 @@ Placement place_topology(const dc::Occupancy& base,
       const bool deadline_bounded = algorithm == Algorithm::kDbaStar;
       AStarOutcome outcome =
           run_astar(std::move(state), config, deadline_bounded, pool);
+      if (!outcome.feasible) m_infeasible.inc();
       return to_placement(outcome.feasible, std::move(outcome.failure),
                           std::move(outcome.state), outcome.stats,
                           timer.elapsed_seconds());
@@ -140,6 +152,12 @@ Placement OstroScheduler::deploy(const topo::AppTopology& topology,
 
 void OstroScheduler::commit(const topo::AppTopology& topology,
                             const Placement& placement) {
+  static util::metrics::Counter& m_commits =
+      util::metrics::counter("scheduler.commits");
+  static util::metrics::Summary& m_commit_seconds =
+      util::metrics::summary("scheduler.commit_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_commit_seconds);
+  m_commits.inc();
   if (!placement.feasible) {
     throw std::invalid_argument(
         "OstroScheduler::commit: placement is infeasible");

@@ -95,15 +95,31 @@ struct PlacementRequest {
   std::vector<dc::HostId> pinned;
 };
 
-/// Search diagnostics reported alongside the result.
+/// Search diagnostics reported alongside the result.  The same quantities
+/// are accumulated process-wide in the util::metrics registry (counter
+/// names in the comments below); the struct carries the per-run view.
 struct SearchStats {
   std::uint64_t paths_expanded = 0;  ///< open-queue pops that were expanded
+                                     ///< ("astar.nodes_expanded")
   std::uint64_t paths_generated = 0;
   std::uint64_t paths_pruned_bound = 0;   ///< pruned by u >= u_upper
   std::uint64_t paths_pruned_random = 0;  ///< DBA* probabilistic pruning
   std::uint64_t paths_deduped = 0;        ///< closed-set / symmetry hits
   std::uint64_t eg_reruns = 0;            ///< RunEG re-bounding invocations
-  std::uint32_t max_depth = 0;            ///< deepest expanded search path
+  /// Candidate hosts scored during greedy host selection, over the initial
+  /// EG run and every RunEG re-bounding ("greedy.candidates_evaluated").
+  std::uint64_t candidates_evaluated = 0;
+  /// Estimator::candidate_estimate invocations this run charged (EG's
+  /// parallel utility fan plus DBA*'s sibling ranking;
+  /// "estimator.candidate_estimates" is the process-wide total).
+  std::uint64_t heuristic_calls = 0;
+  /// Candidate hosts dropped before expansion by the symmetry machinery:
+  /// the interchangeable-node ordering constraint plus host-equivalence
+  /// dedup ("astar.symmetry_candidates_pruned").
+  std::uint64_t symmetry_pruned = 0;
+  /// Largest open-queue size observed ("astar.open_queue_size" summary).
+  std::uint64_t open_queue_peak = 0;
+  std::uint32_t max_depth = 0;  ///< deepest expanded search path
   /// BA* only: the open-queue safety valve (max_open_paths) fired and the
   /// incumbent was returned without an optimality certificate.
   bool truncated = false;

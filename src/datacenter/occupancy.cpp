@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace ostro::dc {
 
 Occupancy::Occupancy(const DataCenter& dc)
@@ -80,6 +82,10 @@ void Occupancy::remove_host_load(HostId h, const topo::Resources& load) {
 }
 
 void Occupancy::reserve_link(LinkId link, double mbps) {
+  static util::metrics::Counter& m_reservations =
+      util::metrics::counter("occupancy.link_reservations");
+  static util::metrics::Summary& m_mbps =
+      util::metrics::summary("occupancy.link_reserved_mbps");
   check_link(link);
   if (mbps < 0.0) {
     throw std::invalid_argument("Occupancy::reserve_link: negative amount");
@@ -90,9 +96,13 @@ void Occupancy::reserve_link(LinkId link, double mbps) {
                                 dc_->link_name(link) + " over capacity");
   }
   link_used_[link] += mbps;
+  m_reservations.inc();
+  m_mbps.observe(mbps);
 }
 
 void Occupancy::release_link(LinkId link, double mbps) {
+  static util::metrics::Counter& m_releases =
+      util::metrics::counter("occupancy.link_releases");
   check_link(link);
   if (mbps < 0.0) {
     throw std::invalid_argument("Occupancy::release_link: negative amount");
@@ -103,6 +113,7 @@ void Occupancy::release_link(LinkId link, double mbps) {
         dc_->link_name(link));
   }
   link_used_[link] = std::max(0.0, link_used_[link] - mbps);
+  m_releases.inc();
 }
 
 void Occupancy::mark_active(HostId h) {

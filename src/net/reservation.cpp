@@ -2,13 +2,29 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace ostro::net {
 
-PlacementTransaction::~PlacementTransaction() {
-  if (!committed_) rollback();
+PlacementTransaction::~PlacementTransaction() { rollback(); }
+
+void PlacementTransaction::commit() noexcept {
+  static util::metrics::Counter& m_commits =
+      util::metrics::counter("reservation.commits");
+  if (!empty()) m_commits.inc();
+  host_ops_.clear();
+  link_ops_.clear();
 }
 
 void PlacementTransaction::rollback() noexcept {
+  static util::metrics::Counter& m_rollbacks =
+      util::metrics::counter("reservation.rollbacks");
+  static util::metrics::Summary& m_seconds =
+      util::metrics::summary("reservation.rollback_seconds");
+  if (empty()) return;  // committed, rolled back, or never applied
+  const util::metrics::ScopedTimer phase_timer(m_seconds);
+  m_rollbacks.inc();
   // Undo in reverse order; release/remove cannot throw for amounts that were
   // successfully reserved.
   for (auto it = link_ops_.rbegin(); it != link_ops_.rend(); ++it) {
@@ -20,16 +36,28 @@ void PlacementTransaction::rollback() noexcept {
   }
   host_ops_.clear();
   link_ops_.clear();
-  committed_ = true;  // nothing left to roll back
 }
 
 void PlacementTransaction::apply(const topo::AppTopology& topology,
                                  const Assignment& assignment) {
+  static util::metrics::Counter& m_applies =
+      util::metrics::counter("reservation.applies");
+  static util::metrics::Counter& m_failures =
+      util::metrics::counter("reservation.apply_failures");
+  static util::metrics::Summary& m_seconds =
+      util::metrics::summary("reservation.apply_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_seconds);
+  m_applies.inc();
   if (assignment.size() != topology.node_count()) {
+    m_failures.inc();
     throw std::invalid_argument(
         "PlacementTransaction::apply: assignment size mismatch");
   }
   const dc::DataCenter& datacenter = occupancy_->datacenter();
+  // Record how much was already applied before this call so a failure rolls
+  // back only this call's partial work, preserving earlier reservations.
+  const std::size_t host_mark = host_ops_.size();
+  const std::size_t link_mark = link_ops_.size();
   try {
     for (const auto& node : topology.nodes()) {
       const dc::HostId host = assignment[node.id];
@@ -50,8 +78,20 @@ void PlacementTransaction::apply(const topo::AppTopology& topology,
       }
     }
   } catch (...) {
-    rollback();
-    committed_ = false;  // transaction stays live (empty) after failure
+    m_failures.inc();
+    // Undo this call's partial work in reverse order; earlier, still-pending
+    // reservations (prior successful apply() calls) are kept.
+    while (link_ops_.size() > link_mark) {
+      occupancy_->release_link(link_ops_.back().link, link_ops_.back().mbps);
+      link_ops_.pop_back();
+    }
+    while (host_ops_.size() > host_mark) {
+      occupancy_->remove_host_load(host_ops_.back().host,
+                                   host_ops_.back().load);
+      occupancy_->set_active(host_ops_.back().host,
+                             host_ops_.back().was_active);
+      host_ops_.pop_back();
+    }
     throw;
   }
 }

@@ -18,8 +18,15 @@ namespace ostro::net {
 /// (dc::kInvalidHost for unplaced nodes is not allowed here).
 using Assignment = std::vector<dc::HostId>;
 
-/// RAII transaction: apply() reserves, commit() keeps, destruction without
-/// commit rolls back.
+/// RAII transaction: apply() reserves, commit() keeps, destruction rolls
+/// back whatever is still pending.
+///
+/// State invariant: the transaction tracks exactly the reservations it has
+/// made and not yet committed or rolled back.  A failed apply() rolls its
+/// partial work back and leaves the transaction *empty but reusable* —
+/// apply() may be called again (on the same or a corrected assignment), and
+/// destruction is a no-op until it succeeds.  commit() and rollback() also
+/// return the transaction to the empty, reusable state.
 class PlacementTransaction {
  public:
   explicit PlacementTransaction(dc::Occupancy& occupancy)
@@ -31,14 +38,21 @@ class PlacementTransaction {
 
   /// Reserves all resources of `topology` mapped by `assignment`.
   /// Throws std::invalid_argument on any capacity violation or malformed
-  /// assignment; the occupancy is left exactly as before the call.
+  /// assignment; the occupancy is left exactly as before the call and the
+  /// transaction is empty and reusable.
   void apply(const topo::AppTopology& topology, const Assignment& assignment);
 
-  /// Keeps the reservations; the destructor becomes a no-op.
-  void commit() noexcept { committed_ = true; }
+  /// Keeps the reservations; the transaction becomes empty and reusable.
+  void commit() noexcept;
 
-  /// Explicit rollback of everything applied so far.
+  /// Explicit rollback of everything applied and not yet committed; the
+  /// transaction becomes empty and reusable.
   void rollback() noexcept;
+
+  /// True when the transaction holds no pending reservations.
+  [[nodiscard]] bool empty() const noexcept {
+    return host_ops_.empty() && link_ops_.empty();
+  }
 
  private:
   struct HostOp {
@@ -54,7 +68,6 @@ class PlacementTransaction {
   dc::Occupancy* occupancy_;
   std::vector<HostOp> host_ops_;
   std::vector<LinkOp> link_ops_;
-  bool committed_ = false;
 };
 
 /// One-shot convenience: apply and commit, or throw leaving `occupancy`

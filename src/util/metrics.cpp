@@ -1,0 +1,128 @@
+#include "util/metrics.h"
+
+namespace ostro::util::metrics {
+
+namespace detail {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// fetch-min/-max via a CAS loop (std::atomic<double> has no fetch_min).
+void update_min(std::atomic<double>& slot, double value) noexcept {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<double>& slot, double value) noexcept {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Summary::observe(double value) noexcept {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; relaxed is fine, the fields are only
+  // read together in snapshots that tolerate tearing.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  update_min(min_, value);
+  update_max(max_, value);
+}
+
+Summary::Snapshot Summary::snapshot() const noexcept {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Summary::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Summary& Registry::summary(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = summaries_.find(name);
+  if (it != summaries_.end()) return *it->second;
+  return *summaries_.emplace(std::string(name), std::make_unique<Summary>())
+              .first->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+Summary::Snapshot Registry::summary_snapshot(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = summaries_.find(name);
+  return it == summaries_.end() ? Summary::Snapshot{} : it->second->snapshot();
+}
+
+void Registry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, summary] : summaries_) summary->reset();
+}
+
+Json Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.emplace(name,
+                     Json(static_cast<std::int64_t>(counter->value())));
+  }
+  JsonObject summaries;
+  for (const auto& [name, summary] : summaries_) {
+    const Summary::Snapshot snap = summary->snapshot();
+    JsonObject entry;
+    entry.emplace("count", Json(static_cast<std::int64_t>(snap.count)));
+    entry.emplace("sum", Json(snap.sum));
+    entry.emplace("min", Json(snap.min));
+    entry.emplace("max", Json(snap.max));
+    entry.emplace("mean", Json(snap.mean()));
+    summaries.emplace(name, Json(std::move(entry)));
+  }
+  JsonObject root;
+  root.emplace("counters", Json(std::move(counters)));
+  root.emplace("summaries", Json(std::move(summaries)));
+  return Json(std::move(root));
+}
+
+}  // namespace ostro::util::metrics

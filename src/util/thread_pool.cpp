@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace ostro::util {
 
@@ -58,7 +59,21 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for EVERY block before rethrowing.  Rethrowing from the first
+  // failed future while later blocks are still running would unwind the
+  // caller's stack under the workers' feet: they hold a reference to `body`
+  // (and through it the caller's captures), which dangles the moment this
+  // frame is gone.  All blocks must be finished — successfully or not —
+  // before an exception may escape.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ostro::util

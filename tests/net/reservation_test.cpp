@@ -96,6 +96,81 @@ TEST(ReservationTest, ExplicitRollback) {
   EXPECT_TRUE(occupancy == before);
 }
 
+TEST(ReservationTest, MidEdgeFailureLeavesOccupancyBitIdentical) {
+  const dc::DataCenter dc = small_dc(2, 2);
+  dc::Occupancy occupancy(dc);
+  // The web--db pipe (100 Mbps) of the cross-rack assignment {0, 2, 2}
+  // traverses both hosts' uplinks and both ToR uplinks.  Leave only 50 Mbps
+  // on rack1's uplink: the reservation fails partway through the edge's
+  // link list, after the host loads and some links were already reserved.
+  occupancy.reserve_link(dc.rack_link(1), 3950.0);
+  const dc::Occupancy before = occupancy;
+
+  PlacementTransaction txn(occupancy);
+  EXPECT_THROW(txn.apply(tiny_app(), {0, 2, 2}), std::invalid_argument);
+  EXPECT_TRUE(txn.empty());
+  EXPECT_TRUE(occupancy == before);
+  // Spell the invariant out field by field as well: host loads, active
+  // flags, and link reservations all match the pre-apply snapshot.
+  for (std::size_t h = 0; h < dc.host_count(); ++h) {
+    const auto host = static_cast<dc::HostId>(h);
+    EXPECT_EQ(occupancy.used(host), before.used(host)) << "host " << h;
+    EXPECT_EQ(occupancy.is_active(host), before.is_active(host))
+        << "host " << h;
+  }
+  for (std::size_t l = 0; l < dc.link_count(); ++l) {
+    const auto link = static_cast<dc::LinkId>(l);
+    EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(link),
+                     before.link_used_mbps(link))
+        << "link " << l;
+  }
+
+  // The failed transaction is reusable: free the uplink and the same
+  // assignment goes through on the same transaction object.
+  occupancy.release_link(dc.rack_link(1), 3950.0);
+  txn.apply(tiny_app(), {0, 2, 2});
+  txn.commit();
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.rack_link(0)), 100.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.rack_link(1)), 100.0);
+  EXPECT_EQ(occupancy.used(2), (topo::Resources{4.0, 4.0, 100.0}));
+}
+
+TEST(ReservationTest, ApplyAfterRollbackStillRollsBackOnDestruction) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  const dc::Occupancy before = occupancy;
+  {
+    PlacementTransaction txn(occupancy);
+    txn.apply(tiny_app(), {0, 1, 1});
+    txn.rollback();
+    EXPECT_TRUE(occupancy == before);
+    // Regression: re-using the transaction after an explicit rollback must
+    // still roll the new reservations back at scope exit (an earlier
+    // version latched a "done" flag on the first rollback and leaked them).
+    txn.apply(tiny_app(), {0, 1, 1});
+    EXPECT_FALSE(occupancy == before);
+  }
+  EXPECT_TRUE(occupancy == before);
+}
+
+TEST(ReservationTest, CommitThenReuseKeepsOnlyCommittedWork) {
+  const dc::DataCenter dc = small_dc(1, 2);
+  dc::Occupancy occupancy(dc);
+  {
+    PlacementTransaction txn(occupancy);
+    txn.apply(tiny_app(), {0, 1, 1});
+    txn.commit();
+    EXPECT_TRUE(txn.empty());
+    // Second application on the same transaction, not committed: rolled
+    // back at scope exit without disturbing the committed first one.
+    txn.apply(tiny_app(), {0, 1, 1});
+  }
+  EXPECT_EQ(occupancy.used(0), (topo::Resources{2.0, 2.0, 0.0}));
+  EXPECT_EQ(occupancy.used(1), (topo::Resources{4.0, 4.0, 100.0}));
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.host_link(0)), 100.0);
+  EXPECT_DOUBLE_EQ(occupancy.link_used_mbps(dc.host_link(1)), 100.0);
+}
+
 TEST(ReservationTest, MalformedAssignmentsRejected) {
   const dc::DataCenter dc = small_dc(1, 2);
   dc::Occupancy occupancy(dc);

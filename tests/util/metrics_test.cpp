@@ -1,0 +1,146 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ostro::util::metrics {
+namespace {
+
+TEST(MetricsTest, CounterCountsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, SummaryTracksCountSumMinMaxMean) {
+  Summary summary;
+  summary.observe(2.0);
+  summary.observe(8.0);
+  summary.observe(5.0);
+  const Summary::Snapshot snap = summary.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 15.0);
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 5.0);
+  summary.reset();
+  const Summary::Snapshot zero = summary.snapshot();
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_DOUBLE_EQ(zero.sum, 0.0);
+  EXPECT_DOUBLE_EQ(zero.min, 0.0);
+  EXPECT_DOUBLE_EQ(zero.max, 0.0);
+  EXPECT_DOUBLE_EQ(zero.mean(), 0.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstruments) {
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("metrics_test.stable");
+  Counter& b = registry.counter("metrics_test.stable");
+  EXPECT_EQ(&a, &b);
+  Summary& s1 = registry.summary("metrics_test.stable_summary");
+  Summary& s2 = registry.summary("metrics_test.stable_summary");
+  EXPECT_EQ(&s1, &s2);
+}
+
+TEST(MetricsTest, SetEnabledStopsCollection) {
+  Counter& counter = Registry::global().counter("metrics_test.switch");
+  counter.reset();
+  counter.inc();
+  EXPECT_EQ(counter.value(), 1u);
+  set_enabled(false);
+  counter.inc();
+  counter.add(10);
+  Summary& summary = Registry::global().summary("metrics_test.switch_sum");
+  summary.reset();
+  summary.observe(3.0);
+  set_enabled(true);
+  EXPECT_EQ(counter.value(), 1u);
+  EXPECT_EQ(summary.snapshot().count, 0u);
+}
+
+TEST(MetricsTest, ScopedTimerObservesOnScopeExit) {
+  Summary& summary = Registry::global().summary("metrics_test.timer");
+  summary.reset();
+  {
+    const ScopedTimer timer(summary);
+    EXPECT_EQ(summary.snapshot().count, 0u);  // nothing until scope exit
+  }
+  const Summary::Snapshot snap = summary.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+TEST(MetricsTest, CountersAreExactUnderConcurrency) {
+  Counter& counter = Registry::global().counter("metrics_test.concurrent");
+  counter.reset();
+  Summary& summary = Registry::global().summary("metrics_test.concurrent_sum");
+  summary.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &summary] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        summary.observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Summary::Snapshot snap = summary.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+}
+
+TEST(MetricsTest, JsonExportCarriesCountersAndSummaries) {
+  Registry& registry = Registry::global();
+  registry.counter("metrics_test.json_counter").reset();
+  registry.counter("metrics_test.json_counter").add(7);
+  registry.summary("metrics_test.json_summary").reset();
+  registry.summary("metrics_test.json_summary").observe(2.5);
+  registry.summary("metrics_test.json_summary").observe(4.5);
+
+  const Json json = registry.to_json();
+  const Json& counters = json.at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("metrics_test.json_counter").as_number(), 7.0);
+  const Json& summary = json.at("summaries").at("metrics_test.json_summary");
+  EXPECT_DOUBLE_EQ(summary.at("count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.at("sum").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(summary.at("min").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(summary.at("max").as_number(), 4.5);
+  EXPECT_DOUBLE_EQ(summary.at("mean").as_number(), 3.5);
+  // Round-trips through the parser (the bench JSON block consumers rely on
+  // this).
+  EXPECT_EQ(Json::parse(json.dump()), json);
+}
+
+TEST(MetricsTest, RegistryResetZeroesEverything) {
+  Registry& registry = Registry::global();
+  Counter& counter = registry.counter("metrics_test.reset_counter");
+  Summary& summary = registry.summary("metrics_test.reset_summary");
+  counter.add(3);
+  summary.observe(1.0);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(summary.snapshot().count, 0u);
+  EXPECT_EQ(registry.counter_value("metrics_test.reset_counter"), 0u);
+}
+
+TEST(MetricsTest, LookupOfAbsentInstrumentsIsZero) {
+  const Registry& registry = Registry::global();
+  EXPECT_EQ(registry.counter_value("metrics_test.never_created"), 0u);
+  EXPECT_EQ(registry.summary_snapshot("metrics_test.never_created").count, 0u);
+}
+
+}  // namespace
+}  // namespace ostro::util::metrics

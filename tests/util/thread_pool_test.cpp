@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace ostro::util {
@@ -69,6 +72,48 @@ TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
   });
   EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L),
             999L * 1000L / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+// Regression test: parallel_for must wait for ALL blocks before rethrowing.
+// The seed implementation rethrew from the first failed future while later
+// blocks were still executing; the workers then held a dangling reference to
+// the caller's `body` and captures (`data` below) after the stack unwound —
+// a use-after-free that ASan/TSan flag.  Without sanitizers the test still
+// fails on the seed: blocks that were mid-flight when the exception escaped
+// have `started` incremented but not `finished`.
+TEST(ThreadPoolTest, ParallelForWaitsForAllBlocksBeforeRethrow) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  const std::size_t n = 16;  // 4 blocks of 4 on a 4-worker pool
+  try {
+    std::vector<int> data(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i == 0) {
+        // Let at least one other block get going before throwing, so the
+        // seed's early rethrow provably races with live blocks.
+        while (started.load() == 0) std::this_thread::yield();
+        throw std::runtime_error("boom");
+      }
+      ++started;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      data[i] = 1;  // dangling write if parallel_for already returned
+      ++finished;
+    });
+    FAIL() << "parallel_for should have rethrown";
+  } catch (const std::runtime_error&) {
+    // At the instant the exception escapes, no block may still be running.
+    EXPECT_EQ(started.load(), finished.load());
+  }
 }
 
 TEST(ThreadPoolTest, SingleWorkerPoolStillWorks) {

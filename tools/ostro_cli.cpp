@@ -26,6 +26,7 @@
 #include "net/reservation.h"
 #include "openstack/heat_template.h"
 #include "util/args.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -134,6 +135,19 @@ int cmd_validate(util::ArgParser& args) {
   }
 }
 
+/// Dumps the metrics registry after the command ran: to a file with
+/// --metrics-out, to stderr with --metrics (stderr keeps placement JSON on
+/// stdout pipeable).
+void dump_metrics(const util::ArgParser& args) {
+  const std::string json =
+      util::metrics::Registry::global().to_json().pretty();
+  if (!args.get_string("metrics-out").empty()) {
+    write_file(args.get_string("metrics-out"), json);
+  } else if (args.flag("metrics")) {
+    std::cerr << json << "\n";
+  }
+}
+
 int cmd_report(util::ArgParser& args) {
   const auto datacenter =
       dc::datacenter_from_text(read_file(args.get_string("datacenter")));
@@ -156,6 +170,10 @@ int main(int argc, char** argv) {
                        "Ostro placement engine command-line front end");
   args.add_string("datacenter", "", "data-center JSON (required)");
   args.add_string("occupancy", "", "occupancy snapshot JSON (optional)");
+  args.add_flag("metrics",
+                "dump the metrics registry (JSON) to stderr after the run");
+  args.add_string("metrics-out", "",
+                  "write the metrics registry JSON to this file instead");
   if (command == "place" || command == "validate") {
     args.add_string("template", "", "QoS-enhanced Heat template JSON");
   }
@@ -178,11 +196,19 @@ int main(int argc, char** argv) {
     if (args.get_string("datacenter").empty()) {
       throw std::runtime_error("--datacenter is required");
     }
-    if (command == "place") return cmd_place(args);
-    if (command == "validate") return cmd_validate(args);
-    if (command == "report") return cmd_report(args);
-    std::cerr << "unknown command: " << command << "\n";
-    return 1;
+    int status = 1;
+    if (command == "place") {
+      status = cmd_place(args);
+    } else if (command == "validate") {
+      status = cmd_validate(args);
+    } else if (command == "report") {
+      status = cmd_report(args);
+    } else {
+      std::cerr << "unknown command: " << command << "\n";
+      return 1;
+    }
+    dump_metrics(args);
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
