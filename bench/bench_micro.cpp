@@ -4,6 +4,10 @@
 // and the max-min fair solver that backs the QFS simulator.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/candidates.h"
 #include "core/estimator.h"
 #include "core/greedy.h"
@@ -11,6 +15,7 @@
 #include "core/partial.h"
 #include "core/symmetry.h"
 #include "net/maxmin.h"
+#include "net/reservation.h"
 #include "sim/clusters.h"
 #include "sim/workloads.h"
 #include "util/metrics.h"
@@ -40,6 +45,40 @@ struct MicroFixture {
 
 MicroFixture& fixture() {
   static MicroFixture f;
+  return f;
+}
+
+/// Figure-7-scale fixture (150 racks x 16 hosts = 2400 hosts): the size at
+/// which the topology-query and estimate fast paths are quantified against
+/// their tree-walk / per-call reference implementations.
+struct Fig7Fixture {
+  dc::DataCenter datacenter = sim::make_sim_datacenter(150, 16);
+  dc::Occupancy occupancy{datacenter};
+  topo::AppTopology app;
+  core::SearchConfig config;
+  core::Objective objective;
+  net::Assignment assignment;  ///< feasible EG placement of `app`
+
+  Fig7Fixture()
+      : app([] {
+          util::Rng rng(7);
+          return sim::make_multitier(50, sim::RequirementMix::kHeterogeneous,
+                                     rng);
+        }()),
+        objective(app, datacenter, config) {
+    util::Rng rng(7);
+    sim::apply_sim_preload(occupancy, rng);
+    core::GreedyOutcome outcome = core::run_greedy(
+        core::Algorithm::kEg,
+        core::PartialPlacement(app, occupancy, objective),
+        core::eg_sort_order(app), nullptr);
+    if (!outcome.feasible) throw std::runtime_error("fig7 EG infeasible");
+    assignment = outcome.state.assignment();
+  }
+};
+
+Fig7Fixture& fig7() {
+  static Fig7Fixture f;
   return f;
 }
 
@@ -119,6 +158,158 @@ void BM_PathLinks(benchmark::State& state) {
 }
 BENCHMARK(BM_PathLinks);
 
+// ---- Figure-7-scale (2400 hosts) fast paths vs their references ----
+// Each pair runs the table-driven hot path and the tree-walk / per-call
+// implementation it replaced on the same access pattern; the ratio is the
+// speedup the PR claims.
+
+void BM_ScopeBetweenFig7(benchmark::State& state) {
+  auto& f = fig7();
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId a = 0;
+  dc::HostId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.datacenter.scope_between(a, b));
+    a = (a + 13) % n;
+    b = (b + 131) % n;
+  }
+}
+BENCHMARK(BM_ScopeBetweenFig7);
+
+void BM_ScopeBetweenWalkFig7(benchmark::State& state) {
+  auto& f = fig7();
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId a = 0;
+  dc::HostId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.datacenter.scope_between_walk(a, b));
+    a = (a + 13) % n;
+    b = (b + 131) % n;
+  }
+}
+BENCHMARK(BM_ScopeBetweenWalkFig7);
+
+void BM_PathLinksFig7(benchmark::State& state) {
+  auto& f = fig7();
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId a = 0;
+  dc::HostId b = 1;
+  for (auto _ : state) {
+    const dc::PathLinks path = f.datacenter.path_between(a, b);
+    benchmark::DoNotOptimize(path.size());
+    a = (a + 13) % n;
+    b = (b + 131) % n;
+  }
+}
+BENCHMARK(BM_PathLinksFig7);
+
+void BM_PathLinksWalkFig7(benchmark::State& state) {
+  auto& f = fig7();
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  std::vector<dc::LinkId> links;
+  dc::HostId a = 0;
+  dc::HostId b = 1;
+  for (auto _ : state) {
+    links.clear();
+    f.datacenter.path_links_walk(a, b, links);
+    benchmark::DoNotOptimize(links.data());
+    a = (a + 13) % n;
+    b = (b + 131) % n;
+  }
+}
+BENCHMARK(BM_PathLinksWalkFig7);
+
+// The pattern path_between actually replaced in the search hot paths: a
+// fresh std::vector filled by the tree walk on every call (partial.cpp's
+// place/bandwidth_ok before this PR).
+void BM_PathLinksWalkAllocFig7(benchmark::State& state) {
+  auto& f = fig7();
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId a = 0;
+  dc::HostId b = 1;
+  for (auto _ : state) {
+    std::vector<dc::LinkId> links;
+    f.datacenter.path_links_walk(a, b, links);
+    benchmark::DoNotOptimize(links.data());
+    a = (a + 13) % n;
+    b = (b + 131) % n;
+  }
+}
+BENCHMARK(BM_PathLinksWalkAllocFig7);
+
+void BM_CandidateEstimateFig7(benchmark::State& state) {
+  auto& f = fig7();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  partial.place(10, 1);
+  const double rest = core::Estimator::rest_bound(partial, 11);
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::Estimator::candidate_estimate(partial, 11, host, rest));
+    host = (host + 1) % n;
+  }
+}
+BENCHMARK(BM_CandidateEstimateFig7);
+
+void BM_CandidateEstimateContextFig7(benchmark::State& state) {
+  auto& f = fig7();
+  core::PartialPlacement partial(f.app, f.occupancy, f.objective);
+  partial.place(0, 0);
+  partial.place(10, 1);
+  const double rest = core::Estimator::rest_bound(partial, 11);
+  // Context built once per placement step, amortized over the candidate
+  // fan — exactly how EG uses it.
+  const core::NodeEstimateContext context(partial, 11, rest);
+  core::EstimateScratch scratch;
+  const auto n = static_cast<dc::HostId>(f.datacenter.host_count());
+  dc::HostId host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.estimate(host, scratch));
+    host = (host + 1) % n;
+  }
+}
+BENCHMARK(BM_CandidateEstimateContextFig7);
+
+// Whole-placement application at Figure-7 scale: staged mode validates in
+// the OccupancyDelta overlay and flushes one apply_delta batch, so the
+// occupancy.link_reservations per-op churn drops to zero on the success
+// path (the `reserve_calls` counter makes the drop visible per apply).
+void BM_TransactionStagedFig7(benchmark::State& state) {
+  auto& f = fig7();
+  dc::Occupancy occupancy = f.occupancy;
+  auto& reservations = util::metrics::counter("occupancy.link_reservations");
+  const auto before = reservations.value();
+  net::PlacementTransaction txn(occupancy,
+                                net::PlacementTransaction::Mode::kStaged);
+  for (auto _ : state) {
+    txn.apply(f.app, f.assignment);
+    txn.rollback();
+  }
+  state.counters["reserve_calls"] = benchmark::Counter(
+      static_cast<double>(reservations.value() - before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TransactionStagedFig7)->Unit(benchmark::kMicrosecond);
+
+void BM_TransactionDirectFig7(benchmark::State& state) {
+  auto& f = fig7();
+  dc::Occupancy occupancy = f.occupancy;
+  auto& reservations = util::metrics::counter("occupancy.link_reservations");
+  const auto before = reservations.value();
+  net::PlacementTransaction txn(occupancy,
+                                net::PlacementTransaction::Mode::kDirect);
+  for (auto _ : state) {
+    txn.apply(f.app, f.assignment);
+    txn.rollback();
+  }
+  state.counters["reserve_calls"] = benchmark::Counter(
+      static_cast<double>(reservations.value() - before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TransactionDirectFig7)->Unit(benchmark::kMicrosecond);
+
 void BM_EgSmall(benchmark::State& state) {
   auto& f = fixture();
   const auto order = core::eg_sort_order(f.app);
@@ -185,4 +376,27 @@ BENCHMARK(BM_MetricsSummaryObserve);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark rejects unknown flags, so --smoke (the CI sanity mode:
+// every benchmark runs, but only for ~10 ms each) is peeled off before
+// Initialize and translated into a --benchmark_min_time override.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -289,7 +289,8 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     const util::WallTimer eg_timer;
     ++stats.eg_reruns;
     m_eg_reruns.inc();
-    GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool);
+    GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool,
+                                  config.use_estimate_context);
     stats.candidates_evaluated += eg.stats.candidates_evaluated;
     stats.heuristic_calls += eg.stats.heuristic_calls;
     if (eg.feasible) incumbent.offer(std::move(eg.state));
@@ -348,6 +349,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   };
 
   std::uint32_t max_depth_seen = 0;
+  EstimateScratch estimate_scratch;  // reused across expansions
 
   while (!open.empty()) {
     if (deadline_bounded && deadline.expired()) {
@@ -492,6 +494,13 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     // next-best estimates.  BA* orders by the admissible bound.
     const double rest_bound =
         sharp_ordering ? Estimator::rest_bound(*parent, node) : 0.0;
+    // The per-node invariants of the estimate are shared by the whole
+    // sibling fan; hoist them once per expansion (results bit-identical to
+    // per-candidate calls; see NodeEstimateContext).
+    std::optional<NodeEstimateContext> estimate_context;
+    if (sharp_ordering && config.use_estimate_context) {
+      estimate_context.emplace(*parent, node, rest_bound);
+    }
     for (const dc::HostId host : candidates) {
       const ChildScore score = child_priority(*parent, node, host);
       const double bound_utility =
@@ -505,7 +514,10 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
       if (sharp_ordering) {
         ++stats.heuristic_calls;
         const Estimate est =
-            Estimator::candidate_estimate(*parent, node, host, rest_bound);
+            estimate_context
+                ? estimate_context->estimate(host, estimate_scratch)
+                : Estimator::candidate_estimate(*parent, node, host,
+                                                rest_bound);
         order_utility = parent->objective().utility(
             parent->ubw() + est.ubw, parent->new_active_hosts() + est.uc);
       }

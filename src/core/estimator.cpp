@@ -216,6 +216,244 @@ Estimate Estimator::candidate_estimate(const PartialPlacement& p,
   return est;
 }
 
+NodeEstimateContext::NodeEstimateContext(const PartialPlacement& p,
+                                         topo::NodeId node, double rest)
+    : p_(&p),
+      topology_(&p.topology()),
+      datacenter_(&p.datacenter()),
+      node_(node),
+      rest_(rest),
+      requirements_(p.topology().node(node).requirements) {
+  const topo::AppTopology& topology = *topology_;
+
+  // Partition the neighbors.  placed_ keeps the original neighbor order so
+  // estimate() feeds each accumulator (ubw, uplink_now, pending deductions)
+  // the same addition sequence candidate_estimate does; future_ gets the
+  // estimate's packing order.
+  std::vector<const topo::Neighbor*> future;
+  for (const auto& nb : topology.neighbors(node)) {
+    const dc::HostId other = p.host_of(nb.node);
+    if (other != dc::kInvalidHost) {
+      placed_.push_back({other, nb.bandwidth_mbps});
+      // own_bw_here: summed per host in the same neighbor order the
+      // reference scan adds them.
+      bool found = false;
+      for (auto& [host, bw] : own_bw_) {
+        if (host == other) {
+          bw += nb.bandwidth_mbps;
+          found = true;
+          break;
+        }
+      }
+      if (!found) own_bw_.emplace_back(other, nb.bandwidth_mbps);
+    } else {
+      future.push_back(&nb);
+    }
+  }
+  std::sort(future.begin(), future.end(),
+            [](const topo::Neighbor* a, const topo::Neighbor* b) {
+              if (a->bandwidth_mbps != b->bandwidth_mbps) {
+                return a->bandwidth_mbps > b->bandwidth_mbps;
+              }
+              return a->node < b->node;
+            });
+
+  // Seat-stealing attraction: for every unplaced host-level zone-mate of
+  // the node, its pipes to residents summed per host (mate neighbor order),
+  // then the per-host maximum over mates.  displaced_bw for a candidate is
+  // max_attraction > own ? max_attraction - own : 0 — identical to the
+  // reference's running max of (attracted - own) because subtracting the
+  // same own preserves the FP ordering.
+  std::vector<std::pair<dc::HostId, double>> attracted;
+  for (const auto zone_index : topology.zones_of(node)) {
+    const auto& zone = topology.zones()[zone_index];
+    if (zone.level != topo::DiversityLevel::kHost) continue;
+    for (const topo::NodeId mate : zone.members) {
+      if (mate == node || p.is_placed(mate)) continue;
+      attracted.clear();
+      for (const auto& mate_nb : topology.neighbors(mate)) {
+        const dc::HostId mate_host = p.host_of(mate_nb.node);
+        if (mate_host == dc::kInvalidHost) continue;
+        bool found = false;
+        for (auto& [host, bw] : attracted) {
+          if (host == mate_host) {
+            bw += mate_nb.bandwidth_mbps;
+            found = true;
+            break;
+          }
+        }
+        if (!found) attracted.emplace_back(mate_host, mate_nb.bandwidth_mbps);
+      }
+      for (const auto& [host, bw] : attracted) {
+        bool found = false;
+        for (auto& [seen, best] : attraction_) {
+          if (seen == host) {
+            best = std::max(best, bw);
+            found = true;
+            break;
+          }
+        }
+        if (!found) attraction_.emplace_back(host, bw);
+      }
+    }
+  }
+
+  // Future-neighbor invariants: the host-independent forced scope, the
+  // placed zone members constraining zone_scope_to_host, and the claim
+  // table for check (d).
+  future_.reserve(future.size());
+  for (const topo::Neighbor* nb : future) {
+    FutureNeighbor f;
+    f.node = nb->node;
+    f.bandwidth_mbps = nb->bandwidth_mbps;
+    f.requirements = topology.node(nb->node).requirements;
+    if (const auto level = topology.required_separation(node, nb->node)) {
+      f.forced = forced_scope(*level);
+    }
+    for (const auto zone_index : topology.zones_of(nb->node)) {
+      const auto& zone = topology.zones()[zone_index];
+      for (const topo::NodeId member : zone.members) {
+        if (member == nb->node) continue;
+        const dc::HostId member_host = p.host_of(member);
+        if (member_host == dc::kInvalidHost) continue;
+        f.zone_members.emplace_back(member_host, zone.level);
+      }
+      // Claim check (d) considers host-level zones only: an unplaced mate
+      // with a pipe to a resident of the candidate at least as strong as
+      // this neighbor's pipe claims the co-location seat.  Existence of
+      // such a pipe == (max pipe into that host) >= threshold.
+      if (zone.level != topo::DiversityLevel::kHost) continue;
+      for (const topo::NodeId mate : zone.members) {
+        if (mate == nb->node || mate == node || p.is_placed(mate)) continue;
+        for (const auto& mate_nb : topology.neighbors(mate)) {
+          const dc::HostId mate_host = p.host_of(mate_nb.node);
+          if (mate_host == dc::kInvalidHost) continue;
+          bool found = false;
+          for (auto& [host, best] : f.mate_claim) {
+            if (host == mate_host) {
+              best = std::max(best, mate_nb.bandwidth_mbps);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            f.mate_claim.emplace_back(mate_host, mate_nb.bandwidth_mbps);
+          }
+        }
+      }
+    }
+    future_.push_back(std::move(f));
+  }
+
+  // Pairwise zone separation between future neighbors, for the
+  // assumed-conflict check (c).
+  const std::size_t n = future_.size();
+  sep_.assign(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (topology.required_separation(future_[i].node, future_[j].node)) {
+        sep_[i * n + j] = 1;
+        sep_[j * n + i] = 1;
+      }
+    }
+  }
+}
+
+double NodeEstimateContext::lookup(
+    const std::vector<std::pair<dc::HostId, double>>& table, dc::HostId host) {
+  for (const auto& [seen, value] : table) {
+    if (seen == host) return value;
+  }
+  return 0.0;
+}
+
+Estimate NodeEstimateContext::estimate(dc::HostId host,
+                                       EstimateScratch& scratch) const {
+  static util::metrics::Counter& m_estimates =
+      util::metrics::counter("estimator.candidate_estimates");
+  m_estimates.inc();
+  const PartialPlacement& p = *p_;
+  const dc::DataCenter& datacenter = *datacenter_;
+
+  Estimate est;
+  est.ubw = rest_;
+  est.uc = p.is_active(host) ? 0.0 : 1.0;
+
+  double uplink_now = 0.0;
+  double uplink_future = 0.0;
+  double pending_others = p.pending_uplink_mbps(host);
+  const std::uint32_t rack = datacenter.ancestors(host).rack;
+  double rack_now = 0.0;
+  double rack_pending_others = p.pending_rack_uplink_mbps(rack);
+
+  topo::Resources residual = p.available(host) - requirements_;
+
+  for (const PlacedNeighbor& nb : placed_) {
+    const dc::Scope scope = datacenter.scope_between(host, nb.host);
+    est.ubw += Objective::edge_cost(nb.bandwidth_mbps, scope);
+    if (scope != dc::Scope::kSameHost) {
+      uplink_now += nb.bandwidth_mbps;
+    } else {
+      pending_others = std::max(0.0, pending_others - nb.bandwidth_mbps);
+    }
+    if (scope != dc::Scope::kSameHost && scope != dc::Scope::kSameRack) {
+      rack_now += nb.bandwidth_mbps;
+    } else {
+      rack_pending_others =
+          std::max(0.0, rack_pending_others - nb.bandwidth_mbps);
+    }
+  }
+
+  const double own_bw_here = lookup(own_bw_, host);
+  const double attraction = lookup(attraction_, host);
+  const double displaced_bw =
+      attraction > own_bw_here ? attraction - own_bw_here : 0.0;
+  est.ubw += dc::hop_count(dc::Scope::kSameRack) * displaced_bw;
+
+  scratch.assumed.clear();
+  const std::size_t n = future_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FutureNeighbor& nb = future_[i];
+    dc::Scope scope = nb.forced;
+    for (const auto& [member_host, level] : nb.zone_members) {
+      if (!datacenter.separated_at(host, member_host, level)) {
+        scope = std::max(scope, forced_scope(level));
+      }
+    }
+    if (scope == dc::Scope::kSameHost) {
+      for (const std::uint32_t earlier : scratch.assumed) {
+        if (sep_[i * n + earlier] != 0) {
+          scope = dc::Scope::kSameRack;
+          break;
+        }
+      }
+    }
+    if (scope == dc::Scope::kSameHost &&
+        lookup(nb.mate_claim, host) >= nb.bandwidth_mbps) {
+      scope = dc::Scope::kSameRack;
+    }
+    if (scope == dc::Scope::kSameHost &&
+        nb.requirements.fits_within(residual)) {
+      residual -= nb.requirements;
+      scratch.assumed.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      scope = std::max(scope, dc::Scope::kSameRack);
+    }
+    uplink_future += nb.bandwidth_mbps;
+    est.ubw += Objective::edge_cost(nb.bandwidth_mbps, scope);
+  }
+
+  if (uplink_now + uplink_future + pending_others >
+      p.link_available(datacenter.host_link(host)) + 1e-9) {
+    est.ubw += p.objective().ubw_worst();
+  }
+  if (rack_now + uplink_future + rack_pending_others >
+      p.link_available(datacenter.rack_link(rack)) + 1e-9) {
+    est.ubw += p.objective().ubw_worst();
+  }
+  return est;
+}
+
 Estimate Estimator::imaginary_completion(const PartialPlacement& p) {
   static util::metrics::Counter& m_completions =
       util::metrics::counter("estimator.imaginary_completions");

@@ -34,21 +34,49 @@ struct Means {
   return m;
 }
 
+/// Buffers reused across pick_eg calls within one run_greedy: the estimate
+/// fan and one EstimateScratch per pool slot, so the per-step candidate
+/// scan allocates nothing once warm.
+struct EgScratch {
+  std::vector<Estimate> estimates;
+  std::vector<EstimateScratch> per_slot;
+};
+
 /// EG host choice: minimize utility(accumulated + estimate); u_c breaks
 /// ties, then already-active hosts, then the lowest host id (determinism).
 [[nodiscard]] dc::HostId pick_eg(const PartialPlacement& state,
                                  topo::NodeId node,
                                  std::span<const dc::HostId> candidates,
-                                 util::ThreadPool* pool) {
+                                 util::ThreadPool* pool, bool use_context,
+                                 EgScratch& scratch) {
   const double rest = Estimator::rest_bound(state, node);
-  std::vector<Estimate> estimates(candidates.size());
-  const auto evaluate = [&](std::size_t i) {
-    estimates[i] = Estimator::candidate_estimate(state, node, candidates[i], rest);
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(candidates.size(), evaluate);
+  std::vector<Estimate>& estimates = scratch.estimates;
+  estimates.resize(candidates.size());
+  if (use_context) {
+    const NodeEstimateContext context(state, node, rest);
+    if (pool != nullptr) {
+      scratch.per_slot.resize(std::max<std::size_t>(1, pool->size()));
+      auto& slots = scratch.per_slot;
+      pool->parallel_for_slots(
+          candidates.size(), [&](std::size_t slot, std::size_t i) {
+            estimates[i] = context.estimate(candidates[i], slots[slot]);
+          });
+    } else {
+      scratch.per_slot.resize(1);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        estimates[i] = context.estimate(candidates[i], scratch.per_slot[0]);
+      }
+    }
   } else {
-    for (std::size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+    const auto evaluate = [&](std::size_t i) {
+      estimates[i] =
+          Estimator::candidate_estimate(state, node, candidates[i], rest);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(candidates.size(), evaluate);
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+    }
   }
 
   const Objective& objective = state.objective();
@@ -190,7 +218,7 @@ std::vector<topo::NodeId> bandwidth_sort_order(
 
 GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
                          std::span<const topo::NodeId> order,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool, bool use_estimate_context) {
   if (variant != Algorithm::kEg && variant != Algorithm::kEgC &&
       variant != Algorithm::kEgBw) {
     throw std::invalid_argument("run_greedy: not a greedy variant");
@@ -213,6 +241,7 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
   // entirely, so its candidate set skips the bandwidth constraint and its
   // placements may overcommit links (callers check has_link_overcommit()).
   const bool check_bandwidth = variant != Algorithm::kEgC;
+  EgScratch scratch;
   for (const topo::NodeId node : order) {
     if (outcome.state.is_placed(node)) continue;
     const std::vector<dc::HostId> candidates =
@@ -233,7 +262,8 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
     dc::HostId chosen = dc::kInvalidHost;
     switch (variant) {
       case Algorithm::kEg:
-        chosen = pick_eg(outcome.state, node, candidates, pool);
+        chosen = pick_eg(outcome.state, node, candidates, pool,
+                         use_estimate_context, scratch);
         break;
       case Algorithm::kEgC:
         chosen = pick_egc(outcome.state, candidates);

@@ -50,10 +50,13 @@ struct GreedyOutcome {
 /// Completes `state` by placing its unplaced nodes in `order` (already
 /// placed entries are skipped), choosing hosts according to `variant`
 /// (kEg, kEgC or kEgBw; the A* variants are rejected).  `pool` parallelizes
-/// EG's candidate scoring when non-null.
+/// EG's candidate scoring when non-null.  `use_estimate_context` selects
+/// EG's hoisted per-node estimate path (bit-identical results; see
+/// SearchConfig::use_estimate_context).
 [[nodiscard]] GreedyOutcome run_greedy(Algorithm variant,
                                        PartialPlacement state,
                                        std::span<const topo::NodeId> order,
-                                       util::ThreadPool* pool);
+                                       util::ThreadPool* pool,
+                                       bool use_estimate_context = true);
 
 }  // namespace ostro::core

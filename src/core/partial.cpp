@@ -74,16 +74,28 @@ bool PartialPlacement::zones_ok(topo::NodeId node, dc::HostId host) const {
 bool PartialPlacement::bandwidth_ok(topo::NodeId node, dc::HostId host) const {
   // Pipes from `node` to already-placed neighbors may share physical links
   // (e.g. both traverse the candidate host's uplink), so demands are
-  // aggregated per link before the availability check.
-  std::unordered_map<dc::LinkId, double> demand;
-  std::vector<dc::LinkId> links;
+  // aggregated per link before the availability check.  The distinct-link
+  // fan is tiny (at most 4 + 4 x degree, mostly shared), so a flat scratch
+  // with linear-scan aggregation replaces the per-call hash map and
+  // allocates nothing once warm.
+  thread_local std::vector<std::pair<dc::LinkId, double>> demand;
+  demand.clear();
   const dc::DataCenter& datacenter = base_->datacenter();
   for (const auto& nb : topology_->neighbors(node)) {
     const dc::HostId other = assignment_[nb.node];
     if (other == dc::kInvalidHost) continue;
-    links.clear();
-    datacenter.path_links(host, other, links);
-    for (const dc::LinkId link : links) demand[link] += nb.bandwidth_mbps;
+    const dc::PathLinks path = datacenter.path_between(host, other);
+    for (const dc::LinkId link : path) {
+      bool found = false;
+      for (auto& [seen, mbps] : demand) {
+        if (seen == link) {
+          mbps += nb.bandwidth_mbps;
+          found = true;
+          break;
+        }
+      }
+      if (!found) demand.emplace_back(link, nb.bandwidth_mbps);
+    }
   }
   constexpr double kEps = 1e-9;
   for (const auto& [link, mbps] : demand) {
@@ -282,8 +294,7 @@ void PartialPlacement::place(topo::NodeId node, dc::HostId host) {
   // pending-uplink obligation.  Pipes to still-unplaced neighbors become
   // this host's pending obligation.
   const dc::DataCenter& datacenter_ref = base_->datacenter();
-  const std::uint32_t host_rack = datacenter_ref.host(host).rack;
-  std::vector<dc::LinkId> links;
+  const std::uint32_t host_rack = datacenter_ref.ancestors(host).rack;
   for (const auto& nb : topology_->neighbors(node)) {
     const dc::HostId other = assignment_[nb.node];
     if (other == dc::kInvalidHost) {
@@ -296,15 +307,14 @@ void PartialPlacement::place(topo::NodeId node, dc::HostId host) {
       pending_it->second = std::max(0.0, pending_it->second - nb.bandwidth_mbps);
     }
     auto rack_it =
-        pending_rack_uplink_.find(datacenter_ref.host(other).rack);
+        pending_rack_uplink_.find(datacenter_ref.ancestors(other).rack);
     if (rack_it != pending_rack_uplink_.end()) {
       rack_it->second = std::max(0.0, rack_it->second - nb.bandwidth_mbps);
     }
     const dc::Scope scope = datacenter_ref.scope_between(host, other);
     ubw_ += Objective::edge_cost(nb.bandwidth_mbps, scope);
-    links.clear();
-    datacenter_ref.path_links(host, other, links);
-    for (const dc::LinkId link : links) {
+    const dc::PathLinks path = datacenter_ref.path_between(host, other);
+    for (const dc::LinkId link : path) {
       link_delta_[link] += nb.bandwidth_mbps;
     }
   }

@@ -52,6 +52,13 @@ struct SearchConfig {
   /// Seed for DBA*'s pruning decisions (and nothing else).
   std::uint64_t seed = 42;
 
+  /// Evaluate EG's candidate fan through a NodeEstimateContext (per-node
+  /// invariants of the estimate hoisted out of the per-host loop) instead
+  /// of calling Estimator::candidate_estimate per candidate.  The context
+  /// produces bit-identical estimates — this switch exists so differential
+  /// tests can force the reference path, not as a tuning knob.
+  bool use_estimate_context = true;
+
   /// Safety valve for BA*: abort with the incumbent EG solution when the
   /// open queue would exceed this many paths (0 = unlimited).
   std::size_t max_open_paths = 2'000'000;

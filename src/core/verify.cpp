@@ -42,11 +42,10 @@ std::vector<std::string> verify_placement(const dc::Occupancy& base,
 
   // Pipe bandwidth: aggregated per physical link vs available-in-base.
   std::unordered_map<dc::LinkId, double> per_link;
-  std::vector<dc::LinkId> links;
   for (const auto& edge : topology.edges()) {
-    links.clear();
-    datacenter.path_links(assignment[edge.a], assignment[edge.b], links);
-    for (const dc::LinkId link : links) {
+    const dc::PathLinks path =
+        datacenter.path_between(assignment[edge.a], assignment[edge.b]);
+    for (const dc::LinkId link : path) {
       per_link[link] += edge.bandwidth_mbps;
     }
   }

@@ -39,6 +39,19 @@ const Host& DataCenter::host(HostId id) const {
 }
 
 Scope DataCenter::scope_between(HostId a, HostId b) const {
+  if (a >= ancestors_.size() || b >= ancestors_.size()) {
+    throw std::out_of_range("DataCenter::scope_between: bad host id");
+  }
+  if (a == b) return Scope::kSameHost;
+  const HostAncestors& ta = ancestors_[a];
+  const HostAncestors& tb = ancestors_[b];
+  if (ta.rack == tb.rack) return Scope::kSameRack;
+  if (ta.pod == tb.pod) return Scope::kSamePod;
+  if (ta.site == tb.site) return Scope::kSameSite;
+  return Scope::kCrossSite;
+}
+
+Scope DataCenter::scope_between_walk(HostId a, HostId b) const {
   const Host& ha = host(a);
   const Host& hb = host(b);
   if (a == b) return Scope::kSameHost;
@@ -50,20 +63,44 @@ Scope DataCenter::scope_between(HostId a, HostId b) const {
 
 bool DataCenter::separated_at(HostId a, HostId b,
                               topo::DiversityLevel level) const {
-  const Host& ha = host(a);
-  const Host& hb = host(b);
+  if (a >= ancestors_.size() || b >= ancestors_.size()) {
+    throw std::out_of_range("DataCenter::separated_at: bad host id");
+  }
+  const HostAncestors& ta = ancestors_[a];
+  const HostAncestors& tb = ancestors_[b];
   switch (level) {
     case topo::DiversityLevel::kHost: return a != b;
-    case topo::DiversityLevel::kRack: return ha.rack != hb.rack;
-    case topo::DiversityLevel::kPod: return ha.pod != hb.pod;
-    case topo::DiversityLevel::kDatacenter:
-      return ha.datacenter != hb.datacenter;
+    case topo::DiversityLevel::kRack: return ta.rack != tb.rack;
+    case topo::DiversityLevel::kPod: return ta.pod != tb.pod;
+    case topo::DiversityLevel::kDatacenter: return ta.site != tb.site;
   }
   return false;
 }
 
 void DataCenter::path_links(HostId a, HostId b,
                             std::vector<LinkId>& out) const {
+  const PathLinks path = path_between(a, b);
+  out.insert(out.end(), path.begin(), path.end());
+}
+
+PathLinks DataCenter::path_between(HostId a, HostId b) const {
+  // scope_between validates both ids; int(scope) is the number of levels
+  // whose uplink pair the pipe traverses (0 on the same host, up to 4
+  // across sites).
+  const Scope scope = scope_between(a, b);
+  const auto levels = static_cast<std::uint32_t>(scope);
+  const LinkId* chain_a = &uplink_chains_[std::size_t{a} * 4];
+  const LinkId* chain_b = &uplink_chains_[std::size_t{b} * 4];
+  PathLinks out;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    out.links[out.count++] = chain_a[i];
+    out.links[out.count++] = chain_b[i];
+  }
+  return out;
+}
+
+void DataCenter::path_links_walk(HostId a, HostId b,
+                                 std::vector<LinkId>& out) const {
   if (a == b) return;
   const Host& ha = host(a);
   const Host& hb = host(b);
@@ -231,6 +268,20 @@ DataCenter DataCenterBuilder::build() {
     widest = Scope::kSameRack;
   }
   dc_.max_scope_ = widest;
+
+  // Derive the hot-path tables: per-host ancestor triples and the flat
+  // uplink chains (host->ToR, ToR->pod, pod->root, root->interconnect) that
+  // scope_between / path_between read instead of walking the hierarchy.
+  dc_.ancestors_.resize(dc_.hosts_.size());
+  dc_.uplink_chains_.resize(dc_.hosts_.size() * 4);
+  for (const Host& h : dc_.hosts_) {
+    dc_.ancestors_[h.id] = HostAncestors{h.rack, h.pod, h.datacenter};
+    LinkId* chain = &dc_.uplink_chains_[std::size_t{h.id} * 4];
+    chain[0] = dc_.host_link(h.id);
+    chain[1] = dc_.rack_link(h.rack);
+    chain[2] = dc_.pod_link(h.pod);
+    chain[3] = dc_.site_link(h.datacenter);
+  }
 
   DataCenter out = std::move(dc_);
   dc_ = DataCenter{};

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,33 @@ enum class Scope : std::uint8_t {
   return 2 * static_cast<int>(scope);
 }
 
+/// Packed per-host ancestor triple.  DataCenterBuilder::build() precomputes
+/// one per host so the hot hierarchy queries (scope_between, separated_at)
+/// read 12 contiguous bytes instead of chasing the full Host record (which
+/// drags its name string and tag vector into the cache line).
+struct HostAncestors {
+  std::uint32_t rack = 0;
+  std::uint32_t pod = 0;
+  std::uint32_t site = 0;
+};
+
+/// Allocation-free result of DataCenter::path_between: the (at most 8)
+/// uplinks a pipe between two hosts traverses, in the same order
+/// path_links appends them (host a, host b, ToR a, ToR b, ...).
+struct PathLinks {
+  std::array<LinkId, 8> links{};
+  std::uint32_t count = 0;
+
+  [[nodiscard]] const LinkId* begin() const noexcept { return links.data(); }
+  [[nodiscard]] const LinkId* end() const noexcept {
+    return links.data() + count;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count; }
+  [[nodiscard]] LinkId operator[](std::size_t i) const noexcept {
+    return links[i];
+  }
+};
+
 class DataCenter {
  public:
   [[nodiscard]] const std::vector<Host>& hosts() const noexcept { return hosts_; }
@@ -105,17 +133,43 @@ class DataCenter {
   [[nodiscard]] std::optional<HostId> find_host(
       const std::string& name) const noexcept;
 
-  /// Hierarchy distance between two hosts.
+  /// Hierarchy distance between two hosts.  O(1): compares the precomputed
+  /// ancestor triples, no tree walk.
   [[nodiscard]] Scope scope_between(HostId a, HostId b) const;
 
   /// True when a and b are on distinct units at `level` (the diversity-zone
-  /// separation test of Section II-B-2).
+  /// separation test of Section II-B-2).  O(1) via the ancestor table.
   [[nodiscard]] bool separated_at(HostId a, HostId b,
                                   topo::DiversityLevel level) const;
 
   /// Appends the LinkIds a pipe between the two hosts traverses; nothing is
-  /// appended when a == b.
+  /// appended when a == b.  Emits from the two precomputed uplink chains —
+  /// no tree walk.
   void path_links(HostId a, HostId b, std::vector<LinkId>& out) const;
+
+  /// Allocation-free form of path_links: the links of the a--b pipe in a
+  /// fixed-size array.  The hot callers (constraint checks, reservation,
+  /// verification) use this to avoid per-call vector churn.
+  [[nodiscard]] PathLinks path_between(HostId a, HostId b) const;
+
+  /// Precomputed ancestors of `h` (rack, pod, site).  Unchecked: `h` must
+  /// be a valid host id.
+  [[nodiscard]] const HostAncestors& ancestors(HostId h) const noexcept {
+    return ancestors_[h];
+  }
+
+  /// The four uplinks between host `h` and the interconnect root, bottom up
+  /// (host->ToR, ToR->pod, pod->root, root->interconnect).  Unchecked.
+  [[nodiscard]] std::span<const LinkId, 4> uplink_chain(HostId h) const noexcept {
+    return std::span<const LinkId, 4>(&uplink_chains_[std::size_t{h} * 4], 4);
+  }
+
+  /// Reference implementations that walk the Host/Rack/Pod records instead
+  /// of the precomputed tables.  Kept (and unit-tested against the fast
+  /// paths across every scope pair) as the ground truth the tables must
+  /// reproduce exactly; not for hot-path use.
+  [[nodiscard]] Scope scope_between_walk(HostId a, HostId b) const;
+  void path_links_walk(HostId a, HostId b, std::vector<LinkId>& out) const;
 
   /// Link layout: [0,H) host uplinks, [H,H+R) ToR uplinks, [H+R,H+R+P) pod
   /// uplinks, [H+R+P,H+R+P+S) site uplinks.
@@ -163,6 +217,11 @@ class DataCenter {
   std::vector<Rack> racks_;
   std::vector<Pod> pods_;
   std::vector<Site> sites_;
+  // Hot-path acceleration tables, derived by DataCenterBuilder::build():
+  // per-host ancestor triples and the flat 4-links-per-host uplink chains
+  // that scope_between / path_between read instead of walking the tree.
+  std::vector<HostAncestors> ancestors_;
+  std::vector<LinkId> uplink_chains_;
   topo::Resources max_host_capacity_;
   double max_host_uplink_ = 0.0;
   Scope max_scope_ = Scope::kSameHost;

@@ -4,8 +4,10 @@
 // or other applications (i.e., they are not idle)").
 //
 // Occupancy is a plain value (copyable) so callers can snapshot/restore
-// around tentative placements; the search algorithms themselves use cheaper
-// per-path deltas (core/state_delta.h) on top of a const Occupancy base.
+// around tentative placements.  Tentative state is cheaper than a copy:
+// search paths layer core/partial.h (PartialPlacement) on top of a const
+// Occupancy base, and reservations stage through an OccupancyDelta overlay
+// (datacenter/state_delta.h) that apply_delta() flushes in one batch.
 #pragma once
 
 #include <vector>
@@ -14,6 +16,8 @@
 #include "topology/resources.h"
 
 namespace ostro::dc {
+
+class OccupancyDelta;
 
 class Occupancy {
  public:
@@ -51,6 +55,14 @@ class Occupancy {
   /// Force the active flag (used by transactional rollback to restore the
   /// exact pre-transaction state).  Clearing does not touch the host's load.
   void set_active(HostId h, bool active);
+
+  /// Flushes a delta staged against *this* occupancy in one batch, replaying
+  /// its op log in staging order with the exact arithmetic of the direct
+  /// mutations (bit-identical result).  Throws std::logic_error when the
+  /// delta was staged against another occupancy or the base state changed
+  /// since staging; this occupancy is untouched in that case.  Defined in
+  /// state_delta.cpp.
+  void apply_delta(const OccupancyDelta& delta);
 
   /// Total bandwidth reserved across all links (the u_bw measure).
   [[nodiscard]] double total_reserved_mbps() const noexcept;

@@ -58,6 +58,48 @@ void PlacementTransaction::apply(const topo::AppTopology& topology,
   // back only this call's partial work, preserving earlier reservations.
   const std::size_t host_mark = host_ops_.size();
   const std::size_t link_mark = link_ops_.size();
+  // One host op per node, at most hop_count(max_scope) link ops per edge:
+  // reserve the op-log capacity up front instead of re-growing per push.
+  const auto max_links_per_edge =
+      static_cast<std::size_t>(dc::hop_count(datacenter.max_scope()));
+  host_ops_.reserve(host_mark + topology.node_count());
+  link_ops_.reserve(link_mark + topology.edge_count() * max_links_per_edge);
+
+  if (mode_ == Mode::kStaged) {
+    // Validate everything against the delta overlay; the occupancy is only
+    // touched by the final one-batch flush, so a failing apply causes zero
+    // reserve/release churn on the base.
+    delta_.clear();
+    try {
+      for (const auto& node : topology.nodes()) {
+        const dc::HostId host = assignment[node.id];
+        if (host == dc::kInvalidHost || host >= datacenter.host_count()) {
+          throw std::invalid_argument("node " + node.name + " is unplaced");
+        }
+        const bool was_active = delta_.is_active(host);
+        delta_.add_host_load(host, node.requirements);
+        host_ops_.push_back({host, node.requirements, was_active});
+      }
+      for (const auto& edge : topology.edges()) {
+        const dc::PathLinks path =
+            datacenter.path_between(assignment[edge.a], assignment[edge.b]);
+        for (const dc::LinkId link : path) {
+          delta_.reserve_link(link, edge.bandwidth_mbps);
+          link_ops_.push_back({link, edge.bandwidth_mbps});
+        }
+      }
+      occupancy_->apply_delta(delta_);
+      delta_.clear();
+    } catch (...) {
+      m_failures.inc();
+      host_ops_.resize(host_mark);
+      link_ops_.resize(link_mark);
+      delta_.clear();
+      throw;
+    }
+    return;
+  }
+
   try {
     for (const auto& node : topology.nodes()) {
       const dc::HostId host = assignment[node.id];
@@ -68,11 +110,10 @@ void PlacementTransaction::apply(const topo::AppTopology& topology,
       occupancy_->add_host_load(host, node.requirements);
       host_ops_.push_back({host, node.requirements, was_active});
     }
-    std::vector<dc::LinkId> links;
     for (const auto& edge : topology.edges()) {
-      links.clear();
-      datacenter.path_links(assignment[edge.a], assignment[edge.b], links);
-      for (const dc::LinkId link : links) {
+      const dc::PathLinks path =
+          datacenter.path_between(assignment[edge.a], assignment[edge.b]);
+      for (const dc::LinkId link : path) {
         occupancy_->reserve_link(link, edge.bandwidth_mbps);
         link_ops_.push_back({link, edge.bandwidth_mbps});
       }

@@ -7,9 +7,11 @@
 // it to commit successive applications onto a shared data center.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "datacenter/occupancy.h"
+#include "datacenter/state_delta.h"
 #include "topology/app_topology.h"
 
 namespace ostro::net {
@@ -29,8 +31,22 @@ using Assignment = std::vector<dc::HostId>;
 /// return the transaction to the empty, reusable state.
 class PlacementTransaction {
  public:
-  explicit PlacementTransaction(dc::Occupancy& occupancy)
-      : occupancy_(&occupancy) {}
+  /// How apply() validates and applies its reservations.  Both modes yield
+  /// bit-identical occupancy state on success (asserted by the differential
+  /// tests); they differ in how a *failing* apply behaves internally.
+  enum class Mode : std::uint8_t {
+    /// Stage every op in an OccupancyDelta and flush with one
+    /// Occupancy::apply_delta batch once everything validated.  A failed
+    /// apply never touches the occupancy — no reserve/release churn.
+    kStaged,
+    /// Mutate the occupancy op by op and undo on failure.  The original
+    /// reference path; kept for differential testing.
+    kDirect,
+  };
+
+  explicit PlacementTransaction(dc::Occupancy& occupancy,
+                                Mode mode = Mode::kStaged)
+      : occupancy_(&occupancy), mode_(mode), delta_(occupancy) {}
   ~PlacementTransaction();
 
   PlacementTransaction(const PlacementTransaction&) = delete;
@@ -66,6 +82,9 @@ class PlacementTransaction {
   };
 
   dc::Occupancy* occupancy_;
+  Mode mode_ = Mode::kStaged;
+  /// Staging overlay reused across apply() calls (kStaged mode only).
+  dc::OccupancyDelta delta_;
   std::vector<HostOp> host_ops_;
   std::vector<LinkOp> link_ops_;
 };

@@ -76,4 +76,38 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for_slots(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  if (workers <= 1 || n < workers * 2) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  const std::size_t blocks = std::min(workers, n);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(submit([&body, b, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(b, i);
+    }));
+  }
+  // Same exception discipline as parallel_for: every block must finish
+  // before rethrowing, or the workers' reference to `body` dangles.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace ostro::util

@@ -52,6 +52,15 @@ class ThreadPool {
   /// referenced past this call's lifetime.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// parallel_for variant whose body additionally receives the index of the
+  /// executing block ("slot", in [0, size())).  At most one task runs per
+  /// slot at any time, so callers can hand each slot its own scratch buffer
+  /// and reuse it across iterations without synchronization.  The inline
+  /// path uses slot 0.
+  void parallel_for_slots(
+      std::size_t n,
+      const std::function<void(std::size_t slot, std::size_t i)>& body);
+
  private:
   void worker_loop();
 
