@@ -4,6 +4,8 @@
 // and the max-min fair solver that backs the QFS simulator.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,7 +20,9 @@
 #include "net/reservation.h"
 #include "sim/clusters.h"
 #include "sim/workloads.h"
+#include "util/json.h"
 #include "util/metrics.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -104,6 +108,69 @@ void BM_GetCandidates(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GetCandidates);
+
+// ---- Figure-7-scale candidate generation: indexed descent vs linear ----
+
+/// Steady-state fleet for candidate generation: Figure-7 scale (150 racks x
+/// 16 hosts = 2400 hosts) with 19 of every 20 racks exhausted — the regime a
+/// long-running cluster operates in, where the linear scan spends its time
+/// re-checking full hosts and the feasibility index skips whole racks.
+struct CandidateFixture {
+  dc::DataCenter datacenter = sim::make_sim_datacenter(150, 16);
+  dc::Occupancy occupancy{datacenter};
+  topo::AppTopology app;
+  core::SearchConfig config;
+  core::Objective objective;
+
+  CandidateFixture()
+      : app([] {
+          util::Rng rng(7);
+          return sim::make_multitier(50, sim::RequirementMix::kHeterogeneous,
+                                     rng);
+        }()),
+        objective(app, datacenter, config) {
+    for (const dc::Rack& rack : datacenter.racks()) {
+      if (rack.id % 20 == 0) continue;  // every 20th rack stays open
+      for (const dc::HostId h : rack.hosts) {
+        occupancy.add_host_load(h, occupancy.available(h));
+      }
+    }
+  }
+
+  /// Partial placement with one node down, so the measured node has a
+  /// placed neighbor and the bandwidth constraint is live.
+  [[nodiscard]] core::PartialPlacement seeded_state() const {
+    core::PartialPlacement partial(app, occupancy, objective);
+    const auto seed = core::get_candidates(partial, 0);
+    partial.place(0, seed.front());
+    return partial;
+  }
+};
+
+CandidateFixture& candidate_fixture() {
+  static CandidateFixture f;
+  return f;
+}
+
+void BM_GetCandidatesLinearFig7(benchmark::State& state) {
+  auto& f = candidate_fixture();
+  const core::PartialPlacement partial = f.seeded_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::get_candidates(partial, 1));
+  }
+}
+BENCHMARK(BM_GetCandidatesLinearFig7)->Unit(benchmark::kMicrosecond);
+
+void BM_GetCandidatesIndexedFig7(benchmark::State& state) {
+  auto& f = candidate_fixture();
+  const core::PartialPlacement partial = f.seeded_state();
+  core::CandidateBuffer buf;
+  for (auto _ : state) {
+    core::get_candidates_indexed(partial, 1, buf);
+    benchmark::DoNotOptimize(buf.hosts.data());
+  }
+}
+BENCHMARK(BM_GetCandidatesIndexedFig7)->Unit(benchmark::kMicrosecond);
 
 void BM_CandidateEstimate(benchmark::State& state) {
   auto& f = fixture();
@@ -374,6 +441,56 @@ void BM_MetricsSummaryObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsSummaryObserve);
 
+/// Measures both candidate-generation paths on the steady-state Figure-7
+/// fleet and writes BENCH_candidates.json (ops/sec, speedup, prune counters
+/// per call) so the perf trajectory tracking has machine-readable points.
+void write_candidates_json(bool smoke) {
+  auto& f = candidate_fixture();
+  const core::PartialPlacement partial = f.seeded_state();
+  const int iterations = smoke ? 200 : 20000;
+
+  const std::vector<dc::HostId> reference = core::get_candidates(partial, 1);
+  core::CandidateBuffer buf;
+  core::get_candidates_indexed(partial, 1, buf);
+  if (buf.hosts != reference) {
+    throw std::runtime_error(
+        "BENCH_candidates: indexed candidates differ from the linear scan");
+  }
+
+  util::WallTimer linear_timer;
+  for (int i = 0; i < iterations; ++i) {
+    benchmark::DoNotOptimize(core::get_candidates(partial, 1));
+  }
+  const double linear_seconds = linear_timer.elapsed_seconds();
+
+  auto& subtrees = util::metrics::counter("candidates.subtrees_pruned");
+  auto& skipped = util::metrics::counter("candidates.hosts_skipped");
+  const std::uint64_t subtrees_before = subtrees.value();
+  const std::uint64_t skipped_before = skipped.value();
+  util::WallTimer indexed_timer;
+  for (int i = 0; i < iterations; ++i) {
+    core::get_candidates_indexed(partial, 1, buf);
+    benchmark::DoNotOptimize(buf.hosts.data());
+  }
+  const double indexed_seconds = indexed_timer.elapsed_seconds();
+  const double per_call = 1.0 / static_cast<double>(iterations);
+
+  util::JsonObject out;
+  out["benchmark"] = "get_candidates_fig7";
+  out["hosts"] = static_cast<int>(f.datacenter.host_count());
+  out["iterations"] = iterations;
+  out["candidates_returned"] = static_cast<int>(reference.size());
+  out["linear_ops_per_sec"] = iterations / linear_seconds;
+  out["indexed_ops_per_sec"] = iterations / indexed_seconds;
+  out["speedup"] = linear_seconds / indexed_seconds;
+  out["subtrees_pruned_per_call"] =
+      static_cast<double>(subtrees.value() - subtrees_before) * per_call;
+  out["hosts_skipped_per_call"] =
+      static_cast<double>(skipped.value() - skipped_before) * per_call;
+  std::ofstream file("BENCH_candidates.json");
+  file << util::Json(std::move(out)).pretty() << '\n';
+}
+
 }  // namespace
 
 // google-benchmark rejects unknown flags, so --smoke (the CI sanity mode:
@@ -397,6 +514,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  write_candidates_json(smoke);
   benchmark::Shutdown();
   return 0;
 }

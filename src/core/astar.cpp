@@ -290,7 +290,8 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     ++stats.eg_reruns;
     m_eg_reruns.inc();
     GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool,
-                                  config.use_estimate_context);
+                                  config.use_estimate_context,
+                                  config.use_candidate_index);
     stats.candidates_evaluated += eg.stats.candidates_evaluated;
     stats.heuristic_calls += eg.stats.heuristic_calls;
     if (eg.feasible) incumbent.offer(std::move(eg.state));
@@ -350,6 +351,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
 
   std::uint32_t max_depth_seen = 0;
   EstimateScratch estimate_scratch;  // reused across expansions
+  CandidateBuffer candidate_buf;     // reused across expansions
 
   while (!open.empty()) {
     if (deadline_bounded && deadline.expired()) {
@@ -460,7 +462,8 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
 
     // Branch: all candidate hosts for the next free node (line 8).
     const topo::NodeId node = order[entry.depth];
-    std::vector<dc::HostId> candidates = get_candidates(*state, node);
+    std::vector<dc::HostId>& candidates = get_candidates(
+        *state, node, candidate_buf, true, config.use_candidate_index);
     const std::size_t fan_before = candidates.size();
     if (config.symmetry_reduction && prev_in_group[entry.depth] >= 0) {
       const topo::NodeId prev =

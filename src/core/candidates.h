@@ -1,18 +1,65 @@
 // Candidate host generation (the GetCandidates of Algorithm 1): all hosts
 // that satisfy the capacity, diversity-zone and bandwidth constraints of
 // Section II-B-2 for one node given the current partial placement.
+//
+// Two implementations produce bit-identical candidate lists (same hosts,
+// same ascending order; differential-tested in candidates_index_test.cpp):
+//
+//  * the linear reference scan: one can_place call per host, O(hosts);
+//  * the indexed descent: walks the data-center tree and skips every
+//    rack/pod/site whose dc::FeasibilityIndex aggregates cannot satisfy the
+//    node (max free capacity below the requirement, no feasible host left,
+//    or a host uplink that cannot carry the pipes to placed neighbors), and
+//    applies diversity-zone exclusions as subtree/host masks *before* any
+//    per-host constraint check.  Only hosts that survive the pruning pay
+//    for a full can_place call.
+//
+// The searches call the buffered overload with
+// SearchConfig::use_candidate_index selecting the path (default indexed;
+// the linear scan is kept as the reference, like use_estimate_context).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/partial.h"
 
 namespace ostro::core {
 
-/// Hosts on which `node` can be placed right now, in ascending host id.
-/// `check_bandwidth = false` gives the EG_C view that ignores pipe
-/// feasibility (Section IV-A's pure bin-packing baseline).
+/// Caller-owned result + scratch storage for candidate generation, reused
+/// across placement steps so the hot path allocates nothing once warm.
+struct CandidateBuffer {
+  std::vector<dc::HostId> hosts;  ///< result, ascending host id
+
+  // Scratch of the indexed descent (zone exclusion masks and the hosts of
+  // the node's placed neighbors); callers never read these.
+  std::vector<dc::HostId> excluded_hosts;
+  std::vector<std::uint32_t> excluded_racks;
+  std::vector<std::uint32_t> excluded_pods;
+  std::vector<std::uint32_t> excluded_sites;
+  std::vector<dc::HostId> neighbor_hosts;
+};
+
+/// Linear reference scan: hosts on which `node` can be placed right now, in
+/// ascending host id.  `check_bandwidth = false` gives the EG_C view that
+/// ignores pipe feasibility (Section IV-A's pure bin-packing baseline).
 [[nodiscard]] std::vector<dc::HostId> get_candidates(
     const PartialPlacement& p, topo::NodeId node, bool check_bandwidth = true);
+
+/// Indexed descent; fills `buf.hosts` with exactly the hosts (and order)
+/// the linear scan returns.  Increments the "candidates.subtrees_pruned" /
+/// "candidates.hosts_skipped" metrics for every subtree and host it
+/// eliminated without a can_place call.
+void get_candidates_indexed(const PartialPlacement& p, topo::NodeId node,
+                            CandidateBuffer& buf, bool check_bandwidth = true);
+
+/// Dispatcher the searches use: fills and returns `buf.hosts` via the
+/// indexed descent (`use_index`, the SearchConfig::use_candidate_index
+/// default) or the linear reference scan.
+std::vector<dc::HostId>& get_candidates(const PartialPlacement& p,
+                                        topo::NodeId node,
+                                        CandidateBuffer& buf,
+                                        bool check_bandwidth = true,
+                                        bool use_index = true);
 
 }  // namespace ostro::core

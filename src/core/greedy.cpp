@@ -40,6 +40,7 @@ struct Means {
 struct EgScratch {
   std::vector<Estimate> estimates;
   std::vector<EstimateScratch> per_slot;
+  CandidateBuffer candidates;
 };
 
 /// EG host choice: minimize utility(accumulated + estimate); u_c breaks
@@ -218,7 +219,8 @@ std::vector<topo::NodeId> bandwidth_sort_order(
 
 GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
                          std::span<const topo::NodeId> order,
-                         util::ThreadPool* pool, bool use_estimate_context) {
+                         util::ThreadPool* pool, bool use_estimate_context,
+                         bool use_candidate_index) {
   if (variant != Algorithm::kEg && variant != Algorithm::kEgC &&
       variant != Algorithm::kEgBw) {
     throw std::invalid_argument("run_greedy: not a greedy variant");
@@ -244,8 +246,9 @@ GreedyOutcome run_greedy(Algorithm variant, PartialPlacement state,
   EgScratch scratch;
   for (const topo::NodeId node : order) {
     if (outcome.state.is_placed(node)) continue;
-    const std::vector<dc::HostId> candidates =
-        get_candidates(outcome.state, node, check_bandwidth);
+    const std::vector<dc::HostId>& candidates =
+        get_candidates(outcome.state, node, scratch.candidates,
+                       check_bandwidth, use_candidate_index);
     if (candidates.empty()) {
       m_failures.inc();
       outcome.failure = "no feasible host for node " +

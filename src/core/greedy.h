@@ -51,12 +51,14 @@ struct GreedyOutcome {
 /// placed entries are skipped), choosing hosts according to `variant`
 /// (kEg, kEgC or kEgBw; the A* variants are rejected).  `pool` parallelizes
 /// EG's candidate scoring when non-null.  `use_estimate_context` selects
-/// EG's hoisted per-node estimate path (bit-identical results; see
-/// SearchConfig::use_estimate_context).
+/// EG's hoisted per-node estimate path and `use_candidate_index` the
+/// feasibility-index candidate generation (both bit-identical to their
+/// reference paths; see SearchConfig).
 [[nodiscard]] GreedyOutcome run_greedy(Algorithm variant,
                                        PartialPlacement state,
                                        std::span<const topo::NodeId> order,
                                        util::ThreadPool* pool,
-                                       bool use_estimate_context = true);
+                                       bool use_estimate_context = true,
+                                       bool use_candidate_index = true);
 
 }  // namespace ostro::core

@@ -218,6 +218,18 @@ double PartialPlacement::pending_rack_uplink_mbps(std::uint32_t rack) const {
   return it == pending_rack_uplink_.end() ? 0.0 : it->second;
 }
 
+double PartialPlacement::placed_neighbor_demand(
+    topo::NodeId node, std::vector<dc::HostId>& hosts_out) const {
+  double demand = 0.0;
+  for (const auto& nb : topology_->neighbors(node)) {
+    const dc::HostId other = assignment_[nb.node];
+    if (other == dc::kInvalidHost) continue;
+    demand += nb.bandwidth_mbps;
+    hosts_out.push_back(other);
+  }
+  return demand;
+}
+
 double PartialPlacement::edge_bound(std::uint32_t edge_index) const {
   if (edge_index >= topology_->edge_count()) {
     throw std::out_of_range("PartialPlacement::edge_bound: bad index");

@@ -157,6 +157,14 @@ class PartialPlacement {
   /// remaining pipes.
   [[nodiscard]] double pending_rack_uplink_mbps(std::uint32_t rack) const;
 
+  /// Total bandwidth of `node`'s pipes to already-placed neighbors, with
+  /// those neighbors' hosts appended to `hosts_out` (one entry per pipe).
+  /// These are the inputs of candidate generation's uplink prune: every
+  /// candidate host must carry the whole demand on its own uplink unless a
+  /// placed neighbor sits in the same subtree (see core/candidates.h).
+  [[nodiscard]] double placed_neighbor_demand(
+      topo::NodeId node, std::vector<dc::HostId>& hosts_out) const;
+
  private:
   [[nodiscard]] double edge_lower_bound(const topo::Edge& edge) const;
   /// Edge indices whose bound can change when `node` lands on `host`.

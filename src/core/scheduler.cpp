@@ -81,8 +81,9 @@ Placement place_topology(const dc::Occupancy& base,
       const auto order = (algorithm == Algorithm::kEgBw)
                              ? bandwidth_sort_order(topology)
                              : eg_sort_order(topology);
-      GreedyOutcome outcome = run_greedy(algorithm, std::move(state), order,
-                                         pool, config.use_estimate_context);
+      GreedyOutcome outcome =
+          run_greedy(algorithm, std::move(state), order, pool,
+                     config.use_estimate_context, config.use_candidate_index);
       if (!outcome.feasible) m_infeasible.inc();
       return to_placement(outcome.feasible, std::move(outcome.failure),
                           std::move(outcome.state), outcome.stats,

@@ -59,6 +59,14 @@ struct SearchConfig {
   /// tests can force the reference path, not as a tuning knob.
   bool use_estimate_context = true;
 
+  /// Generate candidate hosts through the hierarchical feasibility index
+  /// (dc::FeasibilityIndex subtree pruning; see DESIGN.md section 7)
+  /// instead of the full O(hosts) linear can_place scan.  Both paths return
+  /// bit-identical candidate lists — this switch exists so differential
+  /// tests and ablations can force the reference scan, not as a tuning
+  /// knob.
+  bool use_candidate_index = true;
+
   /// Safety valve for BA*: abort with the incumbent EG solution when the
   /// open queue would exceed this many paths (0 = unlimited).
   std::size_t max_open_paths = 2'000'000;

@@ -1,0 +1,197 @@
+#include "datacenter/feasibility_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ostro::dc {
+namespace {
+
+/// Maximum over an empty host set: nothing fits, every request is rejected.
+constexpr double kNoHosts = std::numeric_limits<double>::lowest();
+
+[[nodiscard]] bool is_feasible(const topo::Resources& free) noexcept {
+  return free.vcpus > 0.0 && free.mem_gb > 0.0 && free.disk_gb > 0.0;
+}
+
+/// New maximum of a level after one child's value moved old_v -> new_v.
+/// `recompute` rescans every child of the level; it runs only when the
+/// child that shrank may have been the one attaining the current maximum
+/// (old_v >= current), so the common case is O(1).
+template <class Recompute>
+[[nodiscard]] double updated_max(double current, double old_v, double new_v,
+                                 Recompute recompute) {
+  if (new_v >= current) return new_v;
+  if (old_v < current) return current;
+  return recompute();
+}
+
+}  // namespace
+
+void FeasibilityIndex::rebuild(const DataCenter& dc,
+                               std::vector<topo::Resources> host_free,
+                               std::vector<double> host_uplink_free) {
+  if (host_free.size() != dc.host_count() ||
+      host_uplink_free.size() != dc.host_count()) {
+    throw std::invalid_argument(
+        "FeasibilityIndex::rebuild: per-host vectors must cover every host");
+  }
+  dc_ = &dc;
+  host_free_ = std::move(host_free);
+  host_uplink_free_ = std::move(host_uplink_free);
+
+  const Aggregate empty{{kNoHosts, kNoHosts, kNoHosts}, kNoHosts, 0, 0};
+  rack_.assign(dc.racks().size(), empty);
+  pod_.assign(dc.pods().size(), empty);
+  site_.assign(dc.sites().size(), empty);
+  root_ = empty;
+
+  for (HostId h = 0; h < host_free_.size(); ++h) {
+    const HostAncestors& anc = dc.ancestors(h);
+    const topo::Resources& free = host_free_[h];
+    const double uplink = host_uplink_free_[h];
+    const std::uint32_t feasible = is_feasible(free) ? 1 : 0;
+    Aggregate* chain[] = {&rack_[anc.rack], &pod_[anc.pod], &site_[anc.site],
+                          &root_};
+    for (Aggregate* agg : chain) {
+      agg->max_free.vcpus = std::max(agg->max_free.vcpus, free.vcpus);
+      agg->max_free.mem_gb = std::max(agg->max_free.mem_gb, free.mem_gb);
+      agg->max_free.disk_gb = std::max(agg->max_free.disk_gb, free.disk_gb);
+      agg->max_free_uplink_mbps = std::max(agg->max_free_uplink_mbps, uplink);
+      agg->feasible_hosts += feasible;
+      agg->host_count += 1;
+    }
+  }
+}
+
+void FeasibilityIndex::bump_feasible(const HostAncestors& anc,
+                                     std::int32_t delta) {
+  const auto bump = [delta](std::uint32_t& count) {
+    count = static_cast<std::uint32_t>(static_cast<std::int64_t>(count) +
+                                       delta);
+  };
+  bump(rack_[anc.rack].feasible_hosts);
+  bump(pod_[anc.pod].feasible_hosts);
+  bump(site_[anc.site].feasible_hosts);
+  bump(root_.feasible_hosts);
+}
+
+void FeasibilityIndex::refresh_max_chain(const HostAncestors& anc,
+                                         double old_v, double new_v,
+                                         double topo::Resources::* field) {
+  if (old_v == new_v) return;
+  const Rack& rack = dc_->racks()[anc.rack];
+  double& rack_max = rack_[anc.rack].max_free.*field;
+  const double rack_old = rack_max;
+  rack_max = updated_max(rack_max, old_v, new_v, [&] {
+    double m = kNoHosts;
+    for (const HostId x : rack.hosts) m = std::max(m, host_free_[x].*field);
+    return m;
+  });
+  if (rack_max == rack_old) return;
+
+  const Pod& pod = dc_->pods()[anc.pod];
+  double& pod_max = pod_[anc.pod].max_free.*field;
+  const double pod_old = pod_max;
+  pod_max = updated_max(pod_max, rack_old, rack_max, [&] {
+    double m = kNoHosts;
+    for (const std::uint32_t r : pod.racks) {
+      m = std::max(m, rack_[r].max_free.*field);
+    }
+    return m;
+  });
+  if (pod_max == pod_old) return;
+
+  const Site& site = dc_->sites()[anc.site];
+  double& site_max = site_[anc.site].max_free.*field;
+  const double site_old = site_max;
+  site_max = updated_max(site_max, pod_old, pod_max, [&] {
+    double m = kNoHosts;
+    for (const std::uint32_t p : site.pods) {
+      m = std::max(m, pod_[p].max_free.*field);
+    }
+    return m;
+  });
+  if (site_max == site_old) return;
+
+  root_.max_free.*field = updated_max(root_.max_free.*field, site_old,
+                                      site_max, [&] {
+    double m = kNoHosts;
+    for (const Aggregate& s : site_) m = std::max(m, s.max_free.*field);
+    return m;
+  });
+}
+
+void FeasibilityIndex::refresh_uplink_chain(const HostAncestors& anc,
+                                            double old_v, double new_v) {
+  if (old_v == new_v) return;
+  const Rack& rack = dc_->racks()[anc.rack];
+  double& rack_max = rack_[anc.rack].max_free_uplink_mbps;
+  const double rack_old = rack_max;
+  rack_max = updated_max(rack_max, old_v, new_v, [&] {
+    double m = kNoHosts;
+    for (const HostId x : rack.hosts) m = std::max(m, host_uplink_free_[x]);
+    return m;
+  });
+  if (rack_max == rack_old) return;
+
+  const Pod& pod = dc_->pods()[anc.pod];
+  double& pod_max = pod_[anc.pod].max_free_uplink_mbps;
+  const double pod_old = pod_max;
+  pod_max = updated_max(pod_max, rack_old, rack_max, [&] {
+    double m = kNoHosts;
+    for (const std::uint32_t r : pod.racks) {
+      m = std::max(m, rack_[r].max_free_uplink_mbps);
+    }
+    return m;
+  });
+  if (pod_max == pod_old) return;
+
+  const Site& site = dc_->sites()[anc.site];
+  double& site_max = site_[anc.site].max_free_uplink_mbps;
+  const double site_old = site_max;
+  site_max = updated_max(site_max, pod_old, pod_max, [&] {
+    double m = kNoHosts;
+    for (const std::uint32_t p : site.pods) {
+      m = std::max(m, pod_[p].max_free_uplink_mbps);
+    }
+    return m;
+  });
+  if (site_max == site_old) return;
+
+  root_.max_free_uplink_mbps =
+      updated_max(root_.max_free_uplink_mbps, site_old, site_max, [&] {
+        double m = kNoHosts;
+        for (const Aggregate& s : site_) {
+          m = std::max(m, s.max_free_uplink_mbps);
+        }
+        return m;
+      });
+}
+
+void FeasibilityIndex::set_host_free(HostId h, const topo::Resources& free) {
+  const topo::Resources old = host_free_[h];
+  host_free_[h] = free;
+  const HostAncestors& anc = dc_->ancestors(h);
+  const bool was = is_feasible(old);
+  const bool now = is_feasible(free);
+  if (was != now) bump_feasible(anc, now ? 1 : -1);
+  refresh_max_chain(anc, old.vcpus, free.vcpus, &topo::Resources::vcpus);
+  refresh_max_chain(anc, old.mem_gb, free.mem_gb, &topo::Resources::mem_gb);
+  refresh_max_chain(anc, old.disk_gb, free.disk_gb, &topo::Resources::disk_gb);
+}
+
+void FeasibilityIndex::set_host_uplink_free(HostId h, double free_mbps) {
+  const double old = host_uplink_free_[h];
+  host_uplink_free_[h] = free_mbps;
+  refresh_uplink_chain(dc_->ancestors(h), old, free_mbps);
+}
+
+bool FeasibilityIndex::selfcheck() const {
+  if (dc_ == nullptr) return host_free_.empty();
+  FeasibilityIndex fresh;
+  fresh.rebuild(*dc_, host_free_, host_uplink_free_);
+  return fresh == *this;
+}
+
+}  // namespace ostro::dc

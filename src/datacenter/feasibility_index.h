@@ -1,0 +1,114 @@
+// Hierarchical feasibility index: per-subtree aggregates over host free
+// capacity, maintained incrementally by Occupancy.
+//
+// For every unit of the data-center tree (rack, pod, site, and the root)
+// the index keeps
+//   * the component-wise maximum free CPU / memory / disk over the hosts of
+//     the subtree,
+//   * the maximum free host-uplink bandwidth over those hosts,
+//   * the number of "feasible" hosts (strictly positive free capacity in
+//     every dimension), and
+//   * the static host count of the subtree.
+//
+// Candidate generation (core::get_candidates) descends the tree and skips a
+// whole subtree when its aggregates cannot satisfy a node's requirements —
+// the aggregates are upper bounds on what any single host in the subtree
+// offers, so a subtree they reject contains no feasible host and the prune
+// is sound (never drops a host the linear scan would keep).  Search-side
+// overlays (core::PartialPlacement deltas, OccupancyDelta staging) only
+// consume capacity on top of the base, so the base aggregates stay sound
+// upper bounds for the overlay views as well.
+//
+// Update cost: set_host_free / set_host_uplink_free walk the ancestor chain
+// (rack -> pod -> site -> root).  A level rescans its direct children only
+// when the child that changed previously attained the level's maximum and
+// shrank; otherwise the level updates in O(1) and the walk stops as soon as
+// a level's aggregate is unchanged.  Feasible-host counts always update in
+// exact O(depth).  See DESIGN.md section 7 for the invariants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "topology/resources.h"
+
+namespace ostro::dc {
+
+class FeasibilityIndex {
+ public:
+  struct Aggregate {
+    /// Component-wise max over the free resources of the subtree's hosts.
+    /// Not attained by one host in general: the max-CPU host and the
+    /// max-memory host may differ, which is exactly why rejecting a request
+    /// against it is sound while accepting still needs the per-host check.
+    topo::Resources max_free;
+    /// Max free host->ToR uplink bandwidth over the subtree's hosts.
+    double max_free_uplink_mbps = 0.0;
+    /// Hosts with strictly positive free capacity in every dimension.
+    std::uint32_t feasible_hosts = 0;
+    /// Static number of hosts in the subtree.
+    std::uint32_t host_count = 0;
+
+    friend bool operator==(const Aggregate&, const Aggregate&) = default;
+  };
+
+  FeasibilityIndex() = default;
+
+  /// Derives every aggregate from scratch.  `host_free` / `host_uplink_free`
+  /// are indexed by HostId and must cover every host of `dc`.  The
+  /// DataCenter reference must outlive the index.
+  void rebuild(const DataCenter& dc,
+               std::vector<topo::Resources> host_free,
+               std::vector<double> host_uplink_free);
+
+  // ---- incremental updates (called by Occupancy's mutators) ----
+  /// Records host `h` now having `free` resources and refreshes the
+  /// aggregates along its ancestor chain.
+  void set_host_free(HostId h, const topo::Resources& free);
+  /// Same for the host's free uplink bandwidth.
+  void set_host_uplink_free(HostId h, double free_mbps);
+
+  // ---- queries ----
+  [[nodiscard]] const Aggregate& rack(std::uint32_t r) const {
+    return rack_[r];
+  }
+  [[nodiscard]] const Aggregate& pod(std::uint32_t p) const { return pod_[p]; }
+  [[nodiscard]] const Aggregate& site(std::uint32_t s) const {
+    return site_[s];
+  }
+  [[nodiscard]] const Aggregate& root() const noexcept { return root_; }
+  [[nodiscard]] const topo::Resources& host_free(HostId h) const {
+    return host_free_[h];
+  }
+  [[nodiscard]] double host_uplink_free(HostId h) const {
+    return host_uplink_free_[h];
+  }
+
+  /// True when every aggregate equals a from-scratch rebuild over the
+  /// currently recorded per-host values — the invariant the incremental
+  /// updates must preserve.  Test hook; O(hosts).
+  [[nodiscard]] bool selfcheck() const;
+
+  friend bool operator==(const FeasibilityIndex&,
+                         const FeasibilityIndex&) = default;
+
+ private:
+  /// Refreshes one scalar aggregate along the ancestor chain of `h` after
+  /// the per-host value changed from `old_v` to `new_v`.
+  void refresh_max_chain(const HostAncestors& anc, double old_v, double new_v,
+                         double topo::Resources::* field);
+  void refresh_uplink_chain(const HostAncestors& anc, double old_v,
+                            double new_v);
+  void bump_feasible(const HostAncestors& anc, std::int32_t delta);
+
+  const DataCenter* dc_ = nullptr;
+  std::vector<topo::Resources> host_free_;
+  std::vector<double> host_uplink_free_;
+  std::vector<Aggregate> rack_;
+  std::vector<Aggregate> pod_;
+  std::vector<Aggregate> site_;
+  Aggregate root_;
+};
+
+}  // namespace ostro::dc

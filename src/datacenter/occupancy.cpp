@@ -10,7 +10,29 @@ Occupancy::Occupancy(const DataCenter& dc)
     : dc_(&dc),
       host_used_(dc.host_count()),
       link_used_(dc.link_count(), 0.0),
-      active_(dc.host_count(), false) {}
+      active_(dc.host_count(), false) {
+  // All-idle: every host's free capacity is its full capacity, every host
+  // uplink is unreserved.  The expressions mirror available() /
+  // link_available_mbps() so incremental updates land on identical values.
+  std::vector<topo::Resources> host_free(dc.host_count());
+  std::vector<double> uplink_free(dc.host_count());
+  for (HostId h = 0; h < dc.host_count(); ++h) {
+    host_free[h] = dc.host(h).capacity - host_used_[h];
+    uplink_free[h] = dc.link_capacity(dc.host_link(h)) - link_used_[dc.host_link(h)];
+  }
+  index_.rebuild(dc, std::move(host_free), std::move(uplink_free));
+}
+
+void Occupancy::index_host(HostId h) {
+  index_.set_host_free(h, dc_->host(h).capacity - host_used_[h]);
+}
+
+void Occupancy::index_link(LinkId link) {
+  if (link < dc_->host_count()) {
+    index_.set_host_uplink_free(static_cast<HostId>(link),
+                                dc_->link_capacity(link) - link_used_[link]);
+  }
+}
 
 void Occupancy::check_host(HostId h) const {
   if (h >= host_used_.size()) {
@@ -58,6 +80,7 @@ void Occupancy::add_host_load(HostId h, const topo::Resources& load) {
                                 dc_->host(h).name + " over capacity");
   }
   host_used_[h] = next;
+  index_host(h);
   if (!active_[h]) {
     active_[h] = true;
     ++active_count_;
@@ -76,6 +99,7 @@ void Occupancy::remove_host_load(HostId h, const topo::Resources& load) {
   }
   host_used_[h] = {std::max(0.0, next.vcpus), std::max(0.0, next.mem_gb),
                    std::max(0.0, next.disk_gb)};
+  index_host(h);
   // Active status is sticky: releasing load does not mark a host idle; the
   // caller decides (a host that hosted a tenant may still hold others not
   // tracked here).
@@ -96,6 +120,7 @@ void Occupancy::reserve_link(LinkId link, double mbps) {
                                 dc_->link_name(link) + " over capacity");
   }
   link_used_[link] += mbps;
+  index_link(link);
   m_reservations.inc();
   m_mbps.observe(mbps);
 }
@@ -113,6 +138,7 @@ void Occupancy::release_link(LinkId link, double mbps) {
         dc_->link_name(link));
   }
   link_used_[link] = std::max(0.0, link_used_[link] - mbps);
+  index_link(link);
   m_releases.inc();
 }
 

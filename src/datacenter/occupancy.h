@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "datacenter/datacenter.h"
+#include "datacenter/feasibility_index.h"
 #include "topology/resources.h"
 
 namespace ostro::dc {
@@ -67,17 +68,31 @@ class Occupancy {
   /// Total bandwidth reserved across all links (the u_bw measure).
   [[nodiscard]] double total_reserved_mbps() const noexcept;
 
+  /// Per-subtree feasibility aggregates (max free resources / uplink,
+  /// feasible-host counts), kept in sync with every mutation above in
+  /// O(tree depth).  Candidate generation prunes whole racks/pods/sites
+  /// against these before any per-host constraint check.
+  [[nodiscard]] const FeasibilityIndex& feasibility() const noexcept {
+    return index_;
+  }
+
   friend bool operator==(const Occupancy&, const Occupancy&) = default;
 
  private:
   void check_host(HostId h) const;
   void check_link(LinkId link) const;
+  /// Pushes host `h`'s current free resources into the index.
+  void index_host(HostId h);
+  /// Pushes the free bandwidth of `link` into the index when it is a
+  /// host uplink (other links carry no per-host aggregate).
+  void index_link(LinkId link);
 
   const DataCenter* dc_;
   std::vector<topo::Resources> host_used_;
   std::vector<double> link_used_;
   std::vector<bool> active_;
   std::size_t active_count_ = 0;
+  FeasibilityIndex index_;
 };
 
 }  // namespace ostro::dc

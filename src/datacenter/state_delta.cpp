@@ -115,6 +115,15 @@ void Occupancy::apply_delta(const OccupancyDelta& delta) {
   for (const auto& op : delta.link_ops_) {
     link_used_[op.link] += op.mbps;
   }
+  // Refresh the feasibility index once per touched host/link (not per op):
+  // the aggregates are a function of the final free values, so the result
+  // is identical to per-op maintenance on the direct path.
+  for (const auto& [host, state] : delta.host_state_) {
+    index_host(host);
+  }
+  for (const auto& [link, state] : delta.link_state_) {
+    index_link(link);
+  }
   m_commits.inc();
   m_link_ops.add(delta.link_ops_.size());
 }

@@ -44,6 +44,14 @@ class OccupancyDelta {
   /// Active in the base or activated by a staged load.
   [[nodiscard]] bool is_active(HostId h) const;
 
+  /// Feasibility aggregates of the base occupancy.  Staged ops only consume
+  /// capacity on top of the base, so these remain sound upper bounds for
+  /// subtree pruning against the overlay view: a subtree the base index
+  /// rejects holds no feasible host in the overlay either.
+  [[nodiscard]] const FeasibilityIndex& base_feasibility() const noexcept {
+    return base_->feasibility();
+  }
+
   // ---- staged mutations ----
   /// Stages `load` on host `h`; throws std::invalid_argument when the host
   /// would exceed capacity (same check as Occupancy::add_host_load, against
