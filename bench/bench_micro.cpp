@@ -15,6 +15,7 @@
 #include "core/greedy.h"
 #include "core/objective.h"
 #include "core/partial.h"
+#include "core/scheduler.h"
 #include "core/symmetry.h"
 #include "net/maxmin.h"
 #include "net/reservation.h"
@@ -491,6 +492,75 @@ void write_candidates_json(bool smoke) {
   file << util::Json(std::move(out)).pretty() << '\n';
 }
 
+/// Quantifies the budget controller (DESIGN.md section 8) and writes
+/// BENCH_budget.json.  Two scenarios:
+///   1. Valve-fire recovery — an EG-dead-end instance (greedy co-locates
+///      the pipe endpoints on the big host and strands the large VM) run
+///      under a deliberately tight max_open_paths.  --budget=fixed fails
+///      outright; --budget=auto converges via widened retries.
+///   2. Auto sizing — DBA* on the 320-host fixture, recording the budget
+///      the controller chose versus the fixed 2M default.
+void write_budget_json(bool smoke) {
+  dc::DataCenterBuilder builder;
+  const auto site = builder.add_site("site", 64000.0);
+  const auto pod = builder.add_pod(site, "pod", 64000.0);
+  const auto rack = builder.add_rack(pod, "rack", 32000.0);
+  builder.add_host(rack, "big", {16.0, 32.0, 500.0}, 4000.0);
+  builder.add_host(rack, "h1", {8.0, 16.0, 500.0}, 4000.0);
+  builder.add_host(rack, "h2", {8.0, 16.0, 500.0}, 4000.0);
+  const dc::DataCenter datacenter = builder.build();
+  const dc::Occupancy occupancy(datacenter);
+
+  topo::TopologyBuilder app_builder;
+  app_builder.add_vm("x", {4.0, 4.0, 0.0});
+  app_builder.add_vm("y", {4.0, 4.0, 0.0});
+  app_builder.add_vm("z", {12.0, 2.0, 0.0});
+  app_builder.connect("x", "y", 500.0);
+  const topo::AppTopology app = app_builder.build();
+
+  core::SearchConfig tight;
+  tight.max_open_paths = 1;  // the valve fires on the first expansion
+  const core::Placement fixed_run = core::place_topology(
+      occupancy, app, core::Algorithm::kBaStar, tight);
+
+  core::SearchConfig adaptive = tight;
+  adaptive.budget_mode = core::BudgetMode::kAuto;
+  const core::Placement auto_run = core::place_topology(
+      occupancy, app, core::Algorithm::kBaStar, adaptive);
+  if (!auto_run.feasible) {
+    throw std::runtime_error(
+        "BENCH_budget: auto mode failed to recover from the valve fire");
+  }
+
+  auto& f = fixture();
+  core::SearchConfig sized;
+  sized.budget_mode = core::BudgetMode::kAuto;
+  sized.deadline_seconds = smoke ? 0.05 : 0.5;
+  const core::Placement sized_run = core::place_topology(
+      f.occupancy, f.app, core::Algorithm::kDbaStar, sized);
+
+  util::JsonObject out;
+  out["benchmark"] = "budget_controller";
+  out["valve_seed_max_open_paths"] = static_cast<int>(tight.max_open_paths);
+  out["valve_fixed_feasible"] = fixed_run.feasible;
+  out["valve_fixed_hit_open_limit"] = fixed_run.stats.hit_open_limit;
+  out["valve_auto_feasible"] = auto_run.feasible;
+  out["valve_auto_retries"] = static_cast<int>(auto_run.stats.budget_retries);
+  out["valve_auto_final_max_open_paths"] =
+      static_cast<std::int64_t>(auto_run.stats.effective_max_open_paths);
+  out["sized_dba_feasible"] = sized_run.feasible;
+  out["sized_dba_max_open_paths"] =
+      static_cast<std::int64_t>(sized_run.stats.effective_max_open_paths);
+  out["sized_dba_beam_width"] =
+      static_cast<std::int64_t>(sized_run.stats.effective_beam_width);
+  out["sized_dba_open_queue_peak"] =
+      static_cast<std::int64_t>(sized_run.stats.open_queue_peak);
+  out["fixed_default_max_open_paths"] =
+      static_cast<std::int64_t>(core::SearchConfig{}.max_open_paths);
+  std::ofstream file("BENCH_budget.json");
+  file << util::Json(std::move(out)).pretty() << '\n';
+}
+
 }  // namespace
 
 // google-benchmark rejects unknown flags, so --smoke (the CI sanity mode:
@@ -515,6 +585,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   write_candidates_json(smoke);
+  write_budget_json(smoke);
   benchmark::Shutdown();
   return 0;
 }

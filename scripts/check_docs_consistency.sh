@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Docs-consistency check (CI): the user-facing docs must keep up with the
+# code.  Two sources of truth are extracted from the sources and every
+# token must appear in README.md or DESIGN.md:
+#
+#   1. Every field of core::SearchConfig (src/core/types.h) — the README
+#      "Configuration" section documents each knob.
+#   2. Every metrics counter/summary registered in src/ or tools/ — the
+#      README metrics glossary documents each name.  bench/-local metrics
+#      (bench.*) are out of scope: they are bench implementation detail.
+#
+# Exits non-zero listing every undocumented token, so a PR adding a config
+# knob or a counter without documenting it fails CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md)
+status=0
+
+check() {
+  local kind="$1" token="$2"
+  if ! grep -qF -- "$token" "${docs[@]}"; then
+    echo "UNDOCUMENTED $kind: '$token' (not found in ${docs[*]})" >&2
+    status=1
+  fi
+}
+
+config_fields=$(sed -n '/^struct SearchConfig {/,/^};/p' src/core/types.h |
+  grep -E '^\s+[A-Za-z_][A-Za-z0-9_:]*\s+[a-z_][a-z0-9_]*\s*=' |
+  sed -E 's/^\s*\S+\s+([a-z_][a-z0-9_]*)\s*=.*/\1/' | sort -u)
+if [[ -z "$config_fields" ]]; then
+  echo "extraction failure: no SearchConfig fields found in src/core/types.h" >&2
+  exit 1
+fi
+for field in $config_fields; do
+  check "SearchConfig field" "$field"
+done
+
+metric_names=$(grep -rhoE '(counter|summary)\("[a-z_.]+"\)' src tools |
+  sed -E 's/.*\("([a-z_.]+)"\).*/\1/' | sort -u)
+if [[ -z "$metric_names" ]]; then
+  echo "extraction failure: no metrics registrations found in src/ tools/" >&2
+  exit 1
+fi
+for name in $metric_names; do
+  check "metrics name" "$name"
+done
+
+if [[ "$status" -eq 0 ]]; then
+  count_fields=$(wc -w <<<"$config_fields")
+  count_metrics=$(wc -w <<<"$metric_names")
+  echo "docs consistent: $count_fields SearchConfig fields and" \
+       "$count_metrics metrics names all documented"
+fi
+exit "$status"

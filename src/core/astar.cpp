@@ -318,6 +318,10 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   // could beat the incumbent is ever discarded by the estimate.
   const bool sharp_ordering =
       deadline_bounded || config.greedy_estimate_in_astar;
+  // Budgets in force for this attempt, echoed so callers (and the
+  // BudgetController's feedback loop) can see what the run actually got.
+  stats.effective_max_open_paths = config.max_open_paths;
+  stats.effective_beam_width = sharp_ordering ? config.dba_beam_width : 0;
 
   std::priority_queue<PathEntry, std::vector<PathEntry>, PathOrder> open(
       PathOrder{sharp_ordering});
@@ -573,6 +577,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
 
     if (config.max_open_paths != 0 && open.size() > config.max_open_paths) {
       stats.truncated = true;
+      stats.hit_open_limit = true;
       return finish(incumbent.state.has_value(),
                     incumbent.state ? "" : "open-queue limit hit; no solution");
     }

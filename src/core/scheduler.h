@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/budget.h"
 #include "core/types.h"
 #include "core/partial.h"
 #include "datacenter/occupancy.h"
@@ -56,19 +57,33 @@ class OstroScheduler {
   /// std::invalid_argument for infeasible or bandwidth-overcommitted ones.
   void commit(const topo::AppTopology& topology, const Placement& placement);
 
+  /// The session's search-budget controller (used by plans whose config
+  /// selects BudgetMode::kAuto).  Warm-start state accumulates across every
+  /// plan of this scheduler; exposed for inspection and tests.
+  [[nodiscard]] const BudgetController& budget_controller() const noexcept {
+    return budget_controller_;
+  }
+
  private:
   const dc::DataCenter* datacenter_;
   dc::Occupancy occupancy_;
   SearchConfig defaults_;
   std::unique_ptr<util::ThreadPool> pool_;
+  // plan() is const (it never touches occupancy); the controller's
+  // warm-start state is planning telemetry, hence mutable.
+  mutable BudgetController budget_controller_;
 };
 
-/// Stateless one-shot planning against an explicit occupancy.
+/// Stateless one-shot planning against an explicit occupancy.  Under
+/// BudgetMode::kAuto, `budget` carries warm-start state across calls (the
+/// scheduler passes its session controller); a null `budget` uses a fresh
+/// cold controller for this call only.
 [[nodiscard]] Placement place_topology(const dc::Occupancy& base,
                                        const topo::AppTopology& topology,
                                        Algorithm algorithm,
                                        const SearchConfig& config,
                                        const net::Assignment* pinned = nullptr,
-                                       util::ThreadPool* pool = nullptr);
+                                       util::ThreadPool* pool = nullptr,
+                                       BudgetController* budget = nullptr);
 
 }  // namespace ostro::core

@@ -31,6 +31,21 @@ Algorithm parse_algorithm(const std::string& name) {
   throw std::invalid_argument("unknown algorithm: " + name);
 }
 
+const char* to_string(BudgetMode mode) noexcept {
+  switch (mode) {
+    case BudgetMode::kFixed: return "fixed";
+    case BudgetMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+BudgetMode parse_budget_mode(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "fixed") return BudgetMode::kFixed;
+  if (lower == "auto") return BudgetMode::kAuto;
+  throw std::invalid_argument("unknown budget mode: " + name);
+}
+
 void SearchConfig::validate() const {
   if (theta_bw < 0.0 || theta_c < 0.0 || theta_bw + theta_c <= 0.0) {
     throw std::invalid_argument(
@@ -41,6 +56,10 @@ void SearchConfig::validate() const {
   }
   if (alpha_factor < 0.0) {
     throw std::invalid_argument("SearchConfig: negative alpha_factor");
+  }
+  if (budget_widen_factor <= 1.0) {
+    throw std::invalid_argument(
+        "SearchConfig: budget_widen_factor must be > 1");
   }
 }
 

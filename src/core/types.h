@@ -27,6 +27,23 @@ enum class Algorithm : std::uint8_t {
 /// std::invalid_argument otherwise.
 [[nodiscard]] Algorithm parse_algorithm(const std::string& name);
 
+/// How BA*/DBA* search budgets (max_open_paths, dba_beam_width) are sized.
+///
+///  * kFixed — the configured constants are used verbatim, reproducing the
+///    paper's fixed-budget behavior bit for bit (the default, and what the
+///    paper-reproduction benches run).
+///  * kAuto — core::BudgetController sizes the budgets per plan from the
+///    measured open-queue peaks of prior runs (a static node-count x
+///    candidate-fan estimate on the first plan), and a valve-fire failure
+///    is retried with a geometrically widened budget before falling back
+///    to the greedy EG completion.  See DESIGN.md section 8.
+enum class BudgetMode : std::uint8_t { kFixed, kAuto };
+
+[[nodiscard]] const char* to_string(BudgetMode mode) noexcept;
+/// Parses "fixed" / "auto" (case-insensitive); throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] BudgetMode parse_budget_mode(const std::string& name);
+
 /// Tuning knobs shared by all algorithms.  Defaults mirror the paper's
 /// simulation setup (theta = 0.6/0.4, Section IV-C).
 struct SearchConfig {
@@ -67,9 +84,26 @@ struct SearchConfig {
   /// knob.
   bool use_candidate_index = true;
 
-  /// Safety valve for BA*: abort with the incumbent EG solution when the
-  /// open queue would exceed this many paths (0 = unlimited).
+  /// Safety valve for BA*/DBA*: abort with the incumbent EG solution when
+  /// the open queue would exceed this many paths (0 = unlimited).  Under
+  /// budget_mode == kAuto this is the *seed ceiling* of the first attempt,
+  /// not a hard bound: the BudgetController may size the first attempt
+  /// below it and widens past it on valve-fire retries.
   std::size_t max_open_paths = 2'000'000;
+
+  /// Search-budget sizing regime for max_open_paths / dba_beam_width; see
+  /// BudgetMode.  kFixed (the default) is bit-identical to the constants
+  /// above and is differential-tested against kAuto.
+  BudgetMode budget_mode = BudgetMode::kFixed;
+
+  /// kAuto only: at most this many geometrically widened retries after a
+  /// valve-fire failure (hit_open_limit with no feasible placement) before
+  /// the scheduler falls back to a greedy EG completion.
+  std::uint32_t budget_max_retries = 3;
+
+  /// kAuto only: factor by which max_open_paths grows per widened retry
+  /// (the beam doubles per retry independently).  Must be > 1.
+  double budget_widen_factor = 8.0;
 
   /// Worker threads for EG's parallel candidate evaluation; 0 = hardware
   /// concurrency.
@@ -135,9 +169,23 @@ struct SearchStats {
   /// Largest open-queue size observed ("astar.open_queue_size" summary).
   std::uint64_t open_queue_peak = 0;
   std::uint32_t max_depth = 0;  ///< deepest expanded search path
-  /// BA* only: the open-queue safety valve (max_open_paths) fired and the
+  /// BA*/DBA*: the open-queue safety valve (max_open_paths) fired and the
   /// incumbent was returned without an optimality certificate.
   bool truncated = false;
+  /// The open-queue safety valve fired on this attempt ("budget.valve_fires"
+  /// process-wide).  Unlike `truncated` it is also set on the greedy
+  /// fallback result when the auto-budget retry ladder was exhausted.
+  bool hit_open_limit = false;
+  /// kAuto only: geometrically widened retries that preceded this result
+  /// after valve-fire failures ("budget.retries" process-wide); the other
+  /// stats fields describe the final attempt only.
+  std::uint32_t budget_retries = 0;
+  /// Budgets actually in force for the returned result (0 = unlimited;
+  /// effective_beam_width is 0 for BA*, which keeps every child).  Under
+  /// kFixed these echo the SearchConfig constants; under kAuto they are the
+  /// BudgetController's decision ("budget.max_open_paths" summary).
+  std::size_t effective_max_open_paths = 0;
+  std::size_t effective_beam_width = 0;
   double runtime_seconds = 0.0;
 };
 

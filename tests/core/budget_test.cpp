@@ -1,0 +1,250 @@
+// Adaptive search-budget controller (DESIGN.md section 8): decision
+// arithmetic, the widening ladder, warm-start feedback, the valve-fire
+// retry path through the scheduler, the greedy fallback when the ladder is
+// exhausted, and the kFixed bit-identity invariant.
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+#include "core/scheduler.h"
+#include "helpers.h"
+#include "util/metrics.h"
+
+namespace ostro::core {
+namespace {
+
+using ostro::testing::small_dc;
+using ostro::testing::tiny_app;
+
+/// An instance EG dead-ends on but BA* solves: EG's sort order places the
+/// pipe pair x--y first and co-locates both on the big host (zero bandwidth,
+/// lowest host id tie-break), which strands the 12-core z; BA* keeps the
+/// big host free for z by pairing x,y on h1.  With a tight max_open_paths
+/// the valve fires before BA* completes any path, so the search FAILS
+/// (rather than merely truncating) — the scenario the retry ladder exists
+/// for.
+struct ValveFireFixture {
+  dc::DataCenter datacenter = [] {
+    dc::DataCenterBuilder builder;
+    const auto site = builder.add_site("site", 64000.0);
+    const auto pod = builder.add_pod(site, "pod", 64000.0);
+    const auto rack = builder.add_rack(pod, "rack", 32000.0);
+    builder.add_host(rack, "big", {16.0, 32.0, 500.0}, 4000.0);
+    builder.add_host(rack, "h1", {8.0, 16.0, 500.0}, 4000.0);
+    builder.add_host(rack, "h2", {8.0, 16.0, 500.0}, 4000.0);
+    return builder.build();
+  }();
+  topo::AppTopology app = [] {
+    topo::TopologyBuilder builder;
+    builder.add_vm("x", {4.0, 4.0, 0.0});
+    builder.add_vm("y", {4.0, 4.0, 0.0});
+    builder.add_vm("z", {12.0, 2.0, 0.0});
+    builder.connect("x", "y", 500.0);
+    return builder.build();
+  }();
+};
+
+TEST(BudgetControllerTest, FixedModeReturnsConfigConstantsVerbatim) {
+  BudgetController controller;
+  SearchConfig config;  // kFixed default
+  config.max_open_paths = 777;
+  config.dba_beam_width = 9;
+  const BudgetDecision decision = controller.decide(50, 2400, config);
+  EXPECT_EQ(decision.max_open_paths, 777u);
+  EXPECT_EQ(decision.beam_width, 9u);
+  EXPECT_FALSE(decision.warm);
+}
+
+TEST(BudgetControllerTest, ColdDecisionScalesWithInstanceSize) {
+  BudgetController controller;
+  SearchConfig config;
+  config.budget_mode = BudgetMode::kAuto;
+  // 50 nodes x min(2400 hosts, fan cap 256) = 12800; x headroom 4 = 51200,
+  // inside [floor, cap] and below the 2M seed ceiling.
+  EXPECT_EQ(controller.static_estimate(50, 2400), 50u * 256u);
+  const BudgetDecision decision = controller.decide(50, 2400, config);
+  EXPECT_EQ(decision.max_open_paths, 51'200u);
+  EXPECT_EQ(decision.beam_width, config.dba_beam_width);
+  EXPECT_FALSE(decision.warm);
+}
+
+TEST(BudgetControllerTest, ColdDecisionClampsToFloorAndCeiling) {
+  BudgetController controller;
+  SearchConfig config;
+  config.budget_mode = BudgetMode::kAuto;
+  // Tiny plan: estimate 1 x 2 x 4 = 8 jumps to the floor.
+  EXPECT_EQ(controller.decide(1, 2, config).max_open_paths,
+            controller.policy().floor_open_paths);
+  // A configured ceiling below the floor is an explicit tight-memory
+  // request and is honored verbatim on the cold attempt.
+  config.max_open_paths = 3;
+  EXPECT_EQ(controller.decide(50, 2400, config).max_open_paths, 3u);
+}
+
+TEST(BudgetControllerTest, WidenLadderIsGeometricAndBounded) {
+  BudgetController controller;
+  SearchConfig config;
+  config.budget_mode = BudgetMode::kAuto;
+  config.budget_max_retries = 3;
+
+  BudgetDecision decision;
+  decision.max_open_paths = 1;
+  decision.beam_width = 32;
+
+  // Rung 1 jumps at least to the floor, beam doubles.
+  auto rung = controller.widen(decision, config);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_EQ(rung->attempt, 1);
+  EXPECT_EQ(rung->max_open_paths, controller.policy().floor_open_paths);
+  EXPECT_EQ(rung->beam_width, 64u);
+
+  // Rung 2 is geometric: floor x widen factor (8).
+  rung = controller.widen(*rung, config);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_EQ(rung->max_open_paths,
+            controller.policy().floor_open_paths * 8);
+
+  // Ladder is bounded by budget_max_retries...
+  rung = controller.widen(*rung, config);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_EQ(rung->attempt, 3);
+  EXPECT_FALSE(controller.widen(*rung, config).has_value());
+
+  // ...by the cap, and an unlimited budget has nowhere to widen to.
+  BudgetDecision capped;
+  capped.max_open_paths = controller.policy().cap_open_paths;
+  EXPECT_FALSE(controller.widen(capped, config).has_value());
+  BudgetDecision unlimited;
+  unlimited.max_open_paths = 0;
+  EXPECT_FALSE(controller.widen(unlimited, config).has_value());
+
+  // Beam doubling saturates at the policy cap.
+  BudgetDecision wide_beam;
+  wide_beam.max_open_paths = 4096;
+  wide_beam.beam_width = controller.policy().beam_cap;
+  rung = controller.widen(wide_beam, config);
+  ASSERT_TRUE(rung.has_value());
+  EXPECT_EQ(rung->beam_width, controller.policy().beam_cap);
+}
+
+TEST(BudgetControllerTest, ObservationsWarmStartLaterDecisions) {
+  BudgetController controller;
+  SearchConfig config;
+  config.budget_mode = BudgetMode::kAuto;
+  EXPECT_EQ(controller.smoothed_peak(), 0.0);
+
+  SearchStats stats;
+  stats.open_queue_peak = 10'000;
+  stats.paths_generated = 100;
+  stats.paths_pruned_bound = 50;  // sharply bounded: normal headroom
+  controller.observe(BudgetDecision{}, stats);
+  EXPECT_EQ(controller.smoothed_peak(), 10'000.0);
+
+  // Warm decision: EWMA peak x headroom, seed ceiling no longer applies.
+  config.max_open_paths = 5;
+  const BudgetDecision warm = controller.decide(50, 2400, config);
+  EXPECT_TRUE(warm.warm);
+  EXPECT_EQ(warm.max_open_paths, 40'000u);
+
+  // Weakly-bounded history (few bound prunes) doubles the headroom.
+  BudgetController weak;
+  SearchStats unbounded = stats;
+  unbounded.paths_pruned_bound = 0;
+  weak.observe(BudgetDecision{}, unbounded);
+  EXPECT_EQ(weak.decide(50, 2400, config).max_open_paths, 80'000u);
+}
+
+TEST(BudgetControllerTest, AutoModeRetriesValveFireAndSucceeds) {
+  const ValveFireFixture f;
+  const dc::Occupancy occupancy(f.datacenter);
+  auto& retries = util::metrics::counter("budget.retries");
+  auto& valve_fires = util::metrics::counter("budget.valve_fires");
+  const auto retries_before = retries.value();
+  const auto fires_before = valve_fires.value();
+
+  SearchConfig config;
+  config.max_open_paths = 1;  // the valve fires on the first expansion
+
+  // Fixed mode: the tight budget is a hard failure.
+  const Placement fixed = place_topology(occupancy, f.app,
+                                         Algorithm::kBaStar, config);
+  EXPECT_FALSE(fixed.feasible);
+  EXPECT_TRUE(fixed.stats.hit_open_limit);
+  EXPECT_EQ(fixed.stats.budget_retries, 0u);
+
+  // Auto mode: the controller widens past the failing seed and converges.
+  config.budget_mode = BudgetMode::kAuto;
+  const Placement recovered = place_topology(occupancy, f.app,
+                                             Algorithm::kBaStar, config);
+  ASSERT_TRUE(recovered.feasible);
+  EXPECT_GE(recovered.stats.budget_retries, 1u);
+  EXPECT_GT(recovered.stats.effective_max_open_paths, 1u);
+  EXPECT_GT(retries.value(), retries_before);
+  EXPECT_GT(valve_fires.value(), fires_before);
+}
+
+TEST(BudgetControllerTest, ExhaustedLadderFallsBackToGreedy) {
+  const ValveFireFixture f;
+  const dc::Occupancy occupancy(f.datacenter);
+  auto& fallbacks = util::metrics::counter("budget.greedy_fallbacks");
+  const auto fallbacks_before = fallbacks.value();
+
+  SearchConfig config;
+  config.budget_mode = BudgetMode::kAuto;
+  config.max_open_paths = 1;
+  config.budget_max_retries = 0;  // no rungs: straight to the fallback
+  const Placement placement = place_topology(occupancy, f.app,
+                                             Algorithm::kBaStar, config);
+  // Both greedy completions dead-end on this instance (that is what makes
+  // it a valve-fire FAILURE), so the plan stays infeasible — but through
+  // the bounded, observable fallback path rather than a silent abort.
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_TRUE(placement.stats.hit_open_limit);
+  EXPECT_GE(placement.stats.eg_reruns, 2u);
+  EXPECT_GT(fallbacks.value(), fallbacks_before);
+  EXPECT_FALSE(placement.failure_reason.empty());
+}
+
+TEST(BudgetControllerTest, FixedAndAutoAgreeWhenValveNeverFires) {
+  // Differential check on an instance the search completes comfortably:
+  // auto sizing must not change the result, only the limits.
+  const auto datacenter = small_dc(2, 2);
+  const dc::Occupancy occupancy(datacenter);
+  const auto app = tiny_app();
+
+  const Placement fixed_a = place_topology(occupancy, app,
+                                           Algorithm::kBaStar, SearchConfig{});
+  const Placement fixed_b = place_topology(occupancy, app,
+                                           Algorithm::kBaStar, SearchConfig{});
+  SearchConfig auto_config;
+  auto_config.budget_mode = BudgetMode::kAuto;
+  const Placement adaptive = place_topology(occupancy, app,
+                                            Algorithm::kBaStar, auto_config);
+
+  ASSERT_TRUE(fixed_a.feasible);
+  ASSERT_TRUE(adaptive.feasible);
+  EXPECT_EQ(fixed_a.assignment, fixed_b.assignment);  // determinism
+  EXPECT_EQ(fixed_a.assignment, adaptive.assignment);
+  EXPECT_DOUBLE_EQ(fixed_a.utility, adaptive.utility);
+  EXPECT_EQ(adaptive.stats.budget_retries, 0u);
+  EXPECT_FALSE(adaptive.stats.hit_open_limit);
+}
+
+TEST(BudgetControllerTest, SchedulerSessionWarmStartsAcrossPlans) {
+  const auto datacenter = small_dc(3, 3);
+  SearchConfig defaults;
+  defaults.budget_mode = BudgetMode::kAuto;
+  OstroScheduler scheduler(datacenter, defaults);
+  EXPECT_EQ(scheduler.budget_controller().smoothed_peak(), 0.0);
+
+  const Placement first = scheduler.plan(tiny_app(), Algorithm::kBaStar);
+  ASSERT_TRUE(first.feasible);
+  // The session controller saw the run: its warm-start state is live for
+  // the next plan of this scheduler.
+  EXPECT_GT(scheduler.budget_controller().smoothed_peak(), 0.0);
+  const Placement second = scheduler.plan(tiny_app(), Algorithm::kBaStar);
+  ASSERT_TRUE(second.feasible);
+  EXPECT_EQ(first.assignment, second.assignment);
+}
+
+}  // namespace
+}  // namespace ostro::core

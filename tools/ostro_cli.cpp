@@ -64,6 +64,7 @@ int cmd_place(util::ArgParser& args) {
   config.theta_bw = args.get_double("theta-bw");
   config.theta_c = args.get_double("theta-c");
   config.deadline_seconds = args.get_double("deadline");
+  config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
   const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
 
   const core::Placement placement = core::place_topology(
@@ -82,6 +83,14 @@ int cmd_place(util::ArgParser& args) {
                     ? " (WARNING: overcommits link bandwidth)"
                     : "")
             << "\n";
+  if (config.budget_mode == core::BudgetMode::kAuto &&
+      (algorithm == core::Algorithm::kBaStar ||
+       algorithm == core::Algorithm::kDbaStar)) {
+    std::cout << "search budget: " << placement.stats.effective_max_open_paths
+              << " open paths (beam " << placement.stats.effective_beam_width
+              << ") after " << placement.stats.budget_retries
+              << " widened retries\n";
+  }
   const std::string placement_text =
       core::placement_to_text(placement, parsed.topology, datacenter);
   if (args.get_string("out").empty()) {
@@ -179,6 +188,9 @@ int main(int argc, char** argv) {
   }
   if (command == "place") {
     args.add_string("algorithm", "eg", "eg | egc | egbw | ba | dba");
+    args.add_string("budget", "fixed",
+                    "BA*/DBA* search-budget mode: fixed (paper constants) | "
+                    "auto (adaptive sizing + widened retries)");
     args.add_double("deadline", 0.0, "DBA* deadline (seconds)");
     args.add_double("theta-bw", 0.6, "bandwidth objective weight");
     args.add_double("theta-c", 0.4, "host-count objective weight");
