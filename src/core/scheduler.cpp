@@ -207,6 +207,18 @@ Placement OstroScheduler::plan(const PlacementRequest& request,
                         pool_.get(), &budget_controller_);
 }
 
+Placement OstroScheduler::plan_against(const dc::Occupancy& snapshot,
+                                       const topo::AppTopology& topology,
+                                       Algorithm algorithm,
+                                       const SearchConfig& config) const {
+  if (&snapshot.datacenter() != datacenter_) {
+    throw std::invalid_argument(
+        "OstroScheduler::plan_against: snapshot of another data center");
+  }
+  return place_topology(snapshot, topology, algorithm, config, nullptr,
+                        pool_.get(), &budget_controller_);
+}
+
 Placement OstroScheduler::deploy(const topo::AppTopology& topology,
                                  Algorithm algorithm) {
   return deploy(topology, algorithm, defaults_);
@@ -220,6 +232,10 @@ Placement OstroScheduler::deploy(const topo::AppTopology& topology,
                                        &budget_controller_);
   if (placement.feasible && !placement.bandwidth_overcommitted) {
     commit(topology, placement);
+    placement.committed = true;
+  } else if (placement.feasible) {
+    placement.failure_reason =
+        "placement overcommits link bandwidth; not committed";
   }
   return placement;
 }

@@ -46,9 +46,21 @@ class OstroScheduler {
   [[nodiscard]] Placement plan(const PlacementRequest& request,
                                Algorithm algorithm) const;
 
-  /// plan() + commit the result into the scheduler's occupancy.  Returns
-  /// the placement; nothing is committed when it is infeasible or when it
-  /// overcommits link bandwidth (only EG_C can produce the latter).
+  /// Plans against an explicit occupancy (a PlacementService snapshot)
+  /// instead of the live one, with this session's thread pool and
+  /// budget-controller warm-start state.  `snapshot` must belong to the
+  /// same data center.
+  [[nodiscard]] Placement plan_against(const dc::Occupancy& snapshot,
+                                       const topo::AppTopology& topology,
+                                       Algorithm algorithm,
+                                       const SearchConfig& config) const;
+
+  /// plan() + commit the result into the scheduler's occupancy.  The
+  /// returned placement's `committed` flag reports whether the commit
+  /// happened: it is false when the placement is infeasible or when it
+  /// overcommits link bandwidth (only EG_C can produce the latter — such a
+  /// placement is feasible-but-uncommittable and must not be counted as
+  /// deployed).
   Placement deploy(const topo::AppTopology& topology, Algorithm algorithm);
   Placement deploy(const topo::AppTopology& topology, Algorithm algorithm,
                    const SearchConfig& config);
@@ -64,13 +76,22 @@ class OstroScheduler {
     return budget_controller_;
   }
 
+  /// The SearchConfig the single-argument plan()/deploy() overloads use.
+  [[nodiscard]] const SearchConfig& defaults() const noexcept {
+    return defaults_;
+  }
+
  private:
   const dc::DataCenter* datacenter_;
   dc::Occupancy occupancy_;
   SearchConfig defaults_;
   std::unique_ptr<util::ThreadPool> pool_;
   // plan() is const (it never touches occupancy); the controller's
-  // warm-start state is planning telemetry, hence mutable.
+  // warm-start state is planning telemetry, hence mutable.  The controller
+  // is internally synchronized (every access to its EWMA state takes its
+  // mutex), so concurrent const plan() calls are safe — the
+  // PlacementService relies on this, and the concurrent-plan regression
+  // test in tests/core/service_test.cpp runs it under TSan.
   mutable BudgetController budget_controller_;
 };
 

@@ -1,0 +1,156 @@
+#include "core/service.h"
+
+#include <utility>
+
+#include "core/verify.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace ostro::core {
+
+std::uint64_t PlacementService::epoch() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return scheduler_->occupancy().version();
+}
+
+dc::Occupancy PlacementService::snapshot() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return scheduler_->occupancy();
+}
+
+PlannedPlacement PlacementService::plan(const topo::AppTopology& topology,
+                                        Algorithm algorithm) const {
+  return plan(topology, algorithm, scheduler_->defaults());
+}
+
+PlannedPlacement PlacementService::plan(const topo::AppTopology& topology,
+                                        Algorithm algorithm,
+                                        const SearchConfig& config) const {
+  // Snapshot under the shared lock, search with no lock held: the commit
+  // critical section stays short no matter how expensive the search is.
+  const dc::Occupancy snap = snapshot();
+  PlannedPlacement planned;
+  planned.epoch = snap.version();
+  planned.placement =
+      scheduler_->plan_against(snap, topology, algorithm, config);
+  return planned;
+}
+
+PlacementService::CommitOutcome PlacementService::try_commit(
+    const topo::AppTopology& topology, PlannedPlacement& planned,
+    std::uint64_t* commit_epoch) {
+  return try_commit_with(topology, planned, Committer{}, commit_epoch);
+}
+
+PlacementService::CommitOutcome PlacementService::try_commit_with(
+    const topo::AppTopology& topology, PlannedPlacement& planned,
+    const Committer& committer, std::uint64_t* commit_epoch) {
+  static util::metrics::Counter& m_conflicts =
+      util::metrics::counter("service.conflicts");
+  static util::metrics::Counter& m_rejected =
+      util::metrics::counter("service.rejected");
+  static util::metrics::Summary& m_commit_wait =
+      util::metrics::summary("service.commit_wait_seconds");
+
+  Placement& placement = planned.placement;
+  if (!placement.feasible || placement.bandwidth_overcommitted) {
+    if (placement.feasible && placement.failure_reason.empty()) {
+      placement.failure_reason =
+          "placement overcommits link bandwidth; not committed";
+    }
+    m_rejected.inc();
+    return CommitOutcome::kRejected;
+  }
+
+  util::WallTimer wait_timer;
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  m_commit_wait.observe(wait_timer.elapsed_seconds());
+
+  // The epoch gate: an unchanged version proves no mutation interleaved
+  // between snapshot and commit, so the plan's own constraint checks are
+  // still authoritative and re-validation can be skipped.  A changed
+  // version means a competing commit (or any occupancy mutation) landed —
+  // re-verify everything from first principles against the live state.
+  if (scheduler_->occupancy().version() != planned.epoch) {
+    const auto violations = verify_placement(scheduler_->occupancy(),
+                                             topology, placement.assignment);
+    if (!violations.empty()) {
+      m_conflicts.inc();
+      return CommitOutcome::kConflict;
+    }
+  }
+
+  if (committer) {
+    std::string failure;
+    if (!committer(placement, failure)) {
+      // The committer's refusal is deterministic (re-validation already
+      // passed), so a retry would refuse again: reject.
+      placement.failure_reason = std::move(failure);
+      m_rejected.inc();
+      return CommitOutcome::kRejected;
+    }
+  } else {
+    scheduler_->commit(topology, placement);
+  }
+  placement.committed = true;
+  if (commit_epoch != nullptr) {
+    *commit_epoch = scheduler_->occupancy().version();
+  }
+  return CommitOutcome::kCommitted;
+}
+
+ServiceResult PlacementService::place(const topo::AppTopology& topology,
+                                      Algorithm algorithm) {
+  return place_with(topology, algorithm, scheduler_->defaults(), Committer{});
+}
+
+ServiceResult PlacementService::place(const topo::AppTopology& topology,
+                                      Algorithm algorithm,
+                                      const SearchConfig& config) {
+  return place_with(topology, algorithm, config, Committer{});
+}
+
+ServiceResult PlacementService::place_with(const topo::AppTopology& topology,
+                                           Algorithm algorithm,
+                                           const SearchConfig& config,
+                                           const Committer& committer) {
+  static util::metrics::Counter& m_requests =
+      util::metrics::counter("service.requests");
+  static util::metrics::Counter& m_committed =
+      util::metrics::counter("service.committed");
+  static util::metrics::Counter& m_retries =
+      util::metrics::counter("service.retries");
+  m_requests.inc();
+
+  ServiceResult result;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    PlannedPlacement planned = plan(topology, algorithm, config);
+    result.plan_epoch = planned.epoch;
+    if (post_plan_hook_) post_plan_hook_(attempt);
+    if (!planned.placement.feasible) {
+      result.placement = std::move(planned.placement);
+      return result;
+    }
+    const CommitOutcome outcome =
+        try_commit_with(topology, planned, committer, &result.commit_epoch);
+    if (outcome != CommitOutcome::kConflict) {
+      if (outcome == CommitOutcome::kCommitted) m_committed.inc();
+      result.placement = std::move(planned.placement);
+      return result;
+    }
+    ++result.conflicts;
+    if (attempt >= config.service_max_conflict_retries) {
+      result.placement = std::move(planned.placement);
+      result.placement.committed = false;
+      result.placement.failure_reason =
+          "commit conflict: " +
+          std::to_string(config.service_max_conflict_retries) +
+          " replan(s) exhausted";
+      return result;
+    }
+    ++result.retries;
+    m_retries.inc();
+  }
+}
+
+}  // namespace ostro::core

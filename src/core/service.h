@@ -1,0 +1,156 @@
+// PlacementService — the concurrent front end of the placement core.
+//
+// OstroScheduler is a single-request facade: plan() reads the live
+// occupancy, deploy() mutates it, and nothing can plan while a commit is in
+// flight.  The service turns one scheduler into an online control plane
+// that accepts placement requests from many threads, in the
+// optimistic-concurrency shape of shared-state cluster schedulers
+// (Borg/Omega): each request
+//
+//   1. *snapshots* the occupancy under a shared lock — a plain Occupancy
+//      copy stamped with its mutation epoch (dc::Occupancy::version()),
+//   2. *plans* against that snapshot with no lock held, so an arbitrarily
+//      expensive BA*/DBA* search never blocks other planners or
+//      committers,
+//   3. *validates and commits* under the writer lock: when the live epoch
+//      still equals the snapshot epoch nothing interleaved and the plan
+//      commits directly; otherwise the placement is re-verified from first
+//      principles (core::verify_placement — capacity, bandwidth, zones)
+//      against the *current* occupancy before committing,
+//   4. on a validation *conflict* (a competing commit consumed resources
+//      this plan relies on), replans against a fresh snapshot, at most
+//      SearchConfig::service_max_conflict_retries times, before returning
+//      the placement uncommitted.
+//
+// Process-wide telemetry under "service.": counters service.requests /
+// committed / conflicts / retries / rejected, summary
+// service.commit_wait_seconds (time a request waited for the writer lock).
+//
+// Once a scheduler is wrapped by a service, all access must go through the
+// service (or through the shared scheduler only while no service call is
+// in flight): the service's locks protect exactly the call paths routed
+// through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+
+#include "core/scheduler.h"
+
+namespace ostro::core {
+
+/// A placement together with the occupancy epoch it was planned against.
+/// The epoch is what makes staleness detectable at commit time.
+struct PlannedPlacement {
+  Placement placement;
+  std::uint64_t epoch = 0;  ///< dc::Occupancy::version() of the snapshot
+};
+
+/// Outcome of one place()/place_with() request.
+struct ServiceResult {
+  /// The final placement; `committed` tells whether it was applied.
+  Placement placement;
+  std::uint32_t conflicts = 0;  ///< commit-gate validation failures seen
+  std::uint32_t retries = 0;    ///< replans taken after conflicts
+  /// Epoch of the snapshot behind the final placement.
+  std::uint64_t plan_epoch = 0;
+  /// Live occupancy epoch right after this request's commit (0 when
+  /// nothing was committed).  Strictly increasing across commits, so it
+  /// totally orders the committed set — a serial replay in commit_epoch
+  /// order reproduces the service occupancy bit for bit.
+  std::uint64_t commit_epoch = 0;
+};
+
+class PlacementService {
+ public:
+  /// What try_commit did with a planned placement.
+  enum class CommitOutcome : std::uint8_t {
+    kCommitted,  ///< validated (if stale) and applied
+    kConflict,   ///< stale snapshot and re-validation failed: replan
+    kRejected,   ///< never commitable: infeasible, bandwidth-overcommitted,
+                 ///< or the caller's committer refused (deterministic, no
+                 ///< retry)
+  };
+
+  /// Caller-supplied commit step, run *under the writer lock* after the
+  /// re-validation gate passed (the Heat wrapper deploys through the
+  /// simulated Heat engine here).  Must synchronously apply the placement
+  /// to the scheduler's occupancy and return true, or leave it untouched,
+  /// fill `failure`, and return false.  Must not call back into the
+  /// service (the writer lock is held).
+  using Committer =
+      std::function<bool(const Placement& placement, std::string& failure)>;
+
+  /// `scheduler` must outlive the service.
+  explicit PlacementService(OstroScheduler& scheduler) noexcept
+      : scheduler_(&scheduler) {}
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  [[nodiscard]] const dc::DataCenter& datacenter() const noexcept {
+    return scheduler_->datacenter();
+  }
+  [[nodiscard]] const OstroScheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+
+  /// Current occupancy mutation epoch (shared lock).
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Consistent copy of the live occupancy (shared lock held only for the
+  /// copy).  Its version() carries the snapshot epoch.
+  [[nodiscard]] dc::Occupancy snapshot() const;
+
+  /// Steps 1–2 of the protocol: snapshot, then plan against it with no
+  /// lock held.  Safe to call from any number of threads.
+  [[nodiscard]] PlannedPlacement plan(const topo::AppTopology& topology,
+                                      Algorithm algorithm) const;
+  [[nodiscard]] PlannedPlacement plan(const topo::AppTopology& topology,
+                                      Algorithm algorithm,
+                                      const SearchConfig& config) const;
+
+  /// Step 3: the validate-and-commit gate under the writer lock.  On
+  /// kCommitted, `planned.placement.committed` is set and `commit_epoch`
+  /// (when non-null) receives the post-commit epoch.  On kConflict the
+  /// placement is untouched so the caller can inspect or replan.
+  CommitOutcome try_commit(const topo::AppTopology& topology,
+                           PlannedPlacement& planned,
+                           std::uint64_t* commit_epoch = nullptr);
+  CommitOutcome try_commit_with(const topo::AppTopology& topology,
+                                PlannedPlacement& planned,
+                                const Committer& committer,
+                                std::uint64_t* commit_epoch = nullptr);
+
+  /// The full request: plan → try_commit → bounded conflict-retry ladder.
+  /// The returned placement has `committed` set iff it was applied;
+  /// otherwise `failure_reason` says why (infeasible, overcommitted, or
+  /// conflict ladder exhausted).
+  ServiceResult place(const topo::AppTopology& topology, Algorithm algorithm);
+  ServiceResult place(const topo::AppTopology& topology, Algorithm algorithm,
+                      const SearchConfig& config);
+  /// Same request shape with the caller's committer as the commit step
+  /// (the plan→deploy path of the Heat wrapper, made atomic).
+  ServiceResult place_with(const topo::AppTopology& topology,
+                           Algorithm algorithm, const SearchConfig& config,
+                           const Committer& committer);
+
+  /// Test instrumentation: invoked after each planning attempt of
+  /// place()/place_with(), before its commit gate, with no lock held.
+  /// Deterministic interleaving tests inject competing commits here.  Not
+  /// for production use; must be set before concurrent requests start.
+  void set_post_plan_hook(std::function<void(std::uint32_t attempt)> hook) {
+    post_plan_hook_ = std::move(hook);
+  }
+
+ private:
+  OstroScheduler* scheduler_;
+  /// Readers (snapshot/epoch) share; the validate-and-commit critical
+  /// section is the only writer.
+  mutable std::shared_mutex mutex_;
+  std::function<void(std::uint32_t)> post_plan_hook_;
+};
+
+}  // namespace ostro::core

@@ -109,6 +109,13 @@ struct SearchConfig {
   /// concurrency.
   std::size_t threads = 0;
 
+  /// core::PlacementService only: how many times a request whose
+  /// validate-and-commit gate fails (another request committed a
+  /// conflicting placement between snapshot and commit) is replanned
+  /// against a fresh snapshot before the service gives up and returns the
+  /// placement uncommitted.  Planning and single-scheduler paths ignore it.
+  std::uint32_t service_max_conflict_retries = 3;
+
   /// DBA* children beam: after candidate generation (and host-equivalence
   /// dedup) only the best this-many children by estimated utility are
   /// queued.  Bounds the branching factor — a 2400-host fleet otherwise
@@ -194,6 +201,15 @@ struct Placement {
   /// True when every node was placed subject to all constraints.
   bool feasible = false;
   std::string failure_reason;
+
+  /// True when the placement was also committed to an occupancy (by
+  /// OstroScheduler::deploy/commit or the PlacementService).  plan() never
+  /// sets it.  A deploy can return `feasible && !committed`: the placement
+  /// is valid but was not applied — it overcommits link bandwidth (EG_C),
+  /// or the service's conflict-retry ladder was exhausted
+  /// (`failure_reason` says which).  Callers counting deployed stacks must
+  /// test this flag, not `feasible`.
+  bool committed = false;
 
   /// Node -> host (index = NodeId); dc::kInvalidHost when infeasible.
   net::Assignment assignment;

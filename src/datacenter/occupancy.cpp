@@ -80,6 +80,7 @@ void Occupancy::add_host_load(HostId h, const topo::Resources& load) {
                                 dc_->host(h).name + " over capacity");
   }
   host_used_[h] = next;
+  ++version_;
   index_host(h);
   if (!active_[h]) {
     active_[h] = true;
@@ -99,6 +100,7 @@ void Occupancy::remove_host_load(HostId h, const topo::Resources& load) {
   }
   host_used_[h] = {std::max(0.0, next.vcpus), std::max(0.0, next.mem_gb),
                    std::max(0.0, next.disk_gb)};
+  ++version_;
   index_host(h);
   // Active status is sticky: releasing load does not mark a host idle; the
   // caller decides (a host that hosted a tenant may still hold others not
@@ -120,6 +122,7 @@ void Occupancy::reserve_link(LinkId link, double mbps) {
                                 dc_->link_name(link) + " over capacity");
   }
   link_used_[link] += mbps;
+  ++version_;
   index_link(link);
   m_reservations.inc();
   m_mbps.observe(mbps);
@@ -138,6 +141,7 @@ void Occupancy::release_link(LinkId link, double mbps) {
         dc_->link_name(link));
   }
   link_used_[link] = std::max(0.0, link_used_[link] - mbps);
+  ++version_;
   index_link(link);
   m_releases.inc();
 }
@@ -147,6 +151,7 @@ void Occupancy::mark_active(HostId h) {
   if (!active_[h]) {
     active_[h] = true;
     ++active_count_;
+    ++version_;
   }
 }
 
@@ -154,6 +159,7 @@ void Occupancy::set_active(HostId h, bool active) {
   check_host(h);
   if (active_[h] == active) return;
   active_[h] = active;
+  ++version_;
   if (active) {
     ++active_count_;
   } else {

@@ -10,6 +10,7 @@
 // (datacenter/state_delta.h) that apply_delta() flushes in one batch.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "datacenter/datacenter.h"
@@ -37,6 +38,16 @@ class Occupancy {
   [[nodiscard]] std::size_t active_host_count() const noexcept {
     return active_count_;
   }
+
+  /// Monotonic mutation epoch: incremented by every state change (host
+  /// loads, link reservations, active flags; apply_delta counts as one
+  /// epoch per batch).  Two reads returning the same version bracket a
+  /// window with no interleaved mutation, which is what the optimistic
+  /// plan-against-a-snapshot / validate-and-commit protocol of
+  /// core::PlacementService relies on to detect stale snapshots.  The
+  /// version is bookkeeping, not state: copies inherit it, equality
+  /// ignores it.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   // ---- mutations ----
   /// Consumes `load` on host `h` and marks it active.
@@ -76,7 +87,14 @@ class Occupancy {
     return index_;
   }
 
-  friend bool operator==(const Occupancy&, const Occupancy&) = default;
+  /// State equality: same datacenter, loads, reservations and active flags.
+  /// The mutation version is deliberately excluded — two occupancies that
+  /// reached the same state through different histories compare equal.
+  friend bool operator==(const Occupancy& a, const Occupancy& b) noexcept {
+    return a.dc_ == b.dc_ && a.host_used_ == b.host_used_ &&
+           a.link_used_ == b.link_used_ && a.active_ == b.active_ &&
+           a.active_count_ == b.active_count_ && a.index_ == b.index_;
+  }
 
  private:
   void check_host(HostId h) const;
@@ -92,6 +110,7 @@ class Occupancy {
   std::vector<double> link_used_;
   std::vector<bool> active_;
   std::size_t active_count_ = 0;
+  std::uint64_t version_ = 0;
   FeasibilityIndex index_;
 };
 

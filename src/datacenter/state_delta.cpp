@@ -124,6 +124,9 @@ void Occupancy::apply_delta(const OccupancyDelta& delta) {
   for (const auto& [link, state] : delta.link_state_) {
     index_link(link);
   }
+  // One epoch per flushed batch: snapshot-staleness detection only needs
+  // "did anything change", not an op count.
+  if (!delta.host_ops_.empty() || !delta.link_ops_.empty()) ++version_;
   m_commits.inc();
   m_link_ops.add(delta.link_ops_.size());
 }

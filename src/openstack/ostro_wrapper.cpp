@@ -13,17 +13,33 @@ WrapperResult OstroHeatWrapper::process(const util::Json& template_document,
     return result;
   }
 
-  result.placement = scheduler_->plan(parsed.topology, algorithm);
+  // The annotate+deploy step is the service's committer: it runs under the
+  // writer lock, after the validate-and-commit gate re-checked the plan
+  // against the live occupancy, so the engine's own validation can only
+  // fail for engine-level reasons — never because a competing stack
+  // committed between plan and deploy.
+  const core::ServiceResult service_result = service_->place_with(
+      parsed.topology, algorithm, service_->scheduler().defaults(),
+      [&](const core::Placement& placement, std::string& failure) {
+        result.annotated_template = annotate_with_placement(
+            template_document, parsed, placement.assignment,
+            service_->datacenter());
+        result.deployment = engine_->deploy(result.annotated_template);
+        if (!result.deployment.success) failure = result.deployment.failure;
+        return result.deployment.success;
+      });
+
+  result.placement = service_result.placement;
+  result.conflicts = service_result.conflicts;
+  result.retries = service_result.retries;
   if (!result.placement.feasible) {
     result.deployment.failure =
         "Ostro found no feasible placement: " + result.placement.failure_reason;
-    return result;
+  } else if (!result.placement.committed && result.deployment.failure.empty()) {
+    // Conflict ladder exhausted (or overcommitted): the committer never
+    // ran, so surface the service's reason as the deployment failure.
+    result.deployment.failure = result.placement.failure_reason;
   }
-
-  result.annotated_template = annotate_with_placement(
-      template_document, parsed, result.placement.assignment,
-      scheduler_->datacenter());
-  result.deployment = engine_->deploy(result.annotated_template);
   return result;
 }
 

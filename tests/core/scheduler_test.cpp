@@ -81,6 +81,47 @@ TEST(SchedulerTest, InfeasibleDeployCommitsNothing) {
   EXPECT_TRUE(scheduler.occupancy() == before);
 }
 
+TEST(SchedulerTest, DeploySetsCommittedFlag) {
+  const auto datacenter = small_dc(2, 2);
+  OstroScheduler scheduler(datacenter);
+  const Placement planned = scheduler.plan(tiny_app(), Algorithm::kEg);
+  ASSERT_TRUE(planned.feasible);
+  EXPECT_FALSE(planned.committed);  // plan never commits
+  const Placement deployed = scheduler.deploy(tiny_app(), Algorithm::kEg);
+  ASSERT_TRUE(deployed.feasible);
+  EXPECT_TRUE(deployed.committed);
+}
+
+TEST(SchedulerTest, OvercommittedDeployIsFeasibleButNotCommitted) {
+  // Two 4-core hosts with 100 Mbps uplinks and a 500 Mbps pipe between two
+  // 3-core VMs: EG_C (which ignores pipes) must split them across hosts,
+  // overcommitting the uplinks.  deploy() used to return feasible=true
+  // while silently skipping the commit; the committed flag makes that
+  // outcome explicit.
+  dc::DataCenterBuilder builder;
+  const auto site = builder.add_site("site0", 16000.0);
+  const auto pod = builder.add_pod(site, "pod0", 16000.0);
+  const auto rack = builder.add_rack(pod, "rack0", 4000.0);
+  builder.add_host(rack, "h0", {4.0, 8.0, 100.0}, 100.0);
+  builder.add_host(rack, "h1", {4.0, 8.0, 100.0}, 100.0);
+  const auto datacenter = builder.build();
+
+  topo::TopologyBuilder app_builder;
+  app_builder.add_vm("a", {3.0, 3.0, 0.0});
+  app_builder.add_vm("b", {3.0, 3.0, 0.0});
+  app_builder.connect("a", "b", 500.0);
+  const auto app = app_builder.build();
+
+  OstroScheduler scheduler(datacenter);
+  const Placement placement = scheduler.deploy(app, Algorithm::kEgC);
+  ASSERT_TRUE(placement.feasible);
+  ASSERT_TRUE(placement.bandwidth_overcommitted);
+  EXPECT_FALSE(placement.committed);
+  EXPECT_NE(placement.failure_reason.find("overcommit"), std::string::npos);
+  // Nothing was applied.
+  EXPECT_TRUE(scheduler.occupancy() == dc::Occupancy(datacenter));
+}
+
 TEST(SchedulerTest, CommitRejectsInfeasiblePlacement) {
   const auto datacenter = small_dc();
   OstroScheduler scheduler(datacenter);

@@ -120,5 +120,46 @@ TEST(OccupancyTest, CopySnapshotRestores) {
   EXPECT_FALSE(occupancy.is_active(1));
 }
 
+TEST(OccupancyTest, VersionAdvancesOnEveryMutation) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  EXPECT_EQ(occupancy.version(), 0u);
+  occupancy.add_host_load(0, {2.0, 2.0, 10.0});
+  EXPECT_EQ(occupancy.version(), 1u);
+  occupancy.reserve_link(dc.host_link(0), 100.0);
+  EXPECT_EQ(occupancy.version(), 2u);
+  occupancy.release_link(dc.host_link(0), 100.0);
+  occupancy.remove_host_load(0, {2.0, 2.0, 10.0});
+  EXPECT_EQ(occupancy.version(), 4u);
+  occupancy.mark_active(1);
+  EXPECT_EQ(occupancy.version(), 5u);
+  occupancy.mark_active(1);  // already active: no state change, no bump
+  EXPECT_EQ(occupancy.version(), 5u);
+  occupancy.set_active(1, false);
+  EXPECT_EQ(occupancy.version(), 6u);
+}
+
+TEST(OccupancyTest, EqualityIgnoresVersionHistory) {
+  const DataCenter dc = small_dc();
+  Occupancy a(dc);
+  Occupancy b(dc);
+  // Same state via different mutation histories: equal, versions differ.
+  a.add_host_load(0, {2.0, 2.0, 10.0});
+  a.remove_host_load(0, {2.0, 2.0, 10.0});
+  a.set_active(0, false);
+  EXPECT_NE(a.version(), b.version());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(OccupancyTest, CopyCarriesVersion) {
+  const DataCenter dc = small_dc();
+  Occupancy occupancy(dc);
+  occupancy.add_host_load(0, {1.0, 1.0, 0.0});
+  const Occupancy snapshot = occupancy;
+  EXPECT_EQ(snapshot.version(), occupancy.version());
+  occupancy.add_host_load(1, {1.0, 1.0, 0.0});
+  EXPECT_GT(occupancy.version(), snapshot.version());
+}
+
 }  // namespace
 }  // namespace ostro::dc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "helpers.h"
 
 namespace ostro::os {
@@ -93,6 +96,46 @@ TEST(WrapperTest, SuccessiveStacksShareTheDataCenter) {
   ASSERT_TRUE(second.deployment.success);
   // Ostro prefers the already-active host; no new activations needed.
   EXPECT_EQ(second.deployment.new_active_hosts, 0);
+}
+
+TEST(WrapperTest, ConcurrentStacksNeverFailEngineValidation) {
+  // Concurrent stacks through one shared service: a competing commit
+  // between Ostro's plan and the Heat deploy must surface as a clean
+  // replan inside the service, never as the engine's own "placement
+  // validation failed" (the deploy runs under the service's writer lock
+  // after the re-validation gate).
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  core::PlacementService service(scheduler);
+  HeatEngine engine(scheduler.occupancy());
+
+  constexpr int kThreads = 4;
+  std::vector<WrapperResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      OstroHeatWrapper wrapper(service, engine);
+      results[static_cast<std::size_t>(t)] =
+          wrapper.process_text(kTemplate, core::Algorithm::kEg);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  int committed = 0;
+  for (const WrapperResult& result : results) {
+    if (result.deployment.success) {
+      EXPECT_TRUE(result.placement.committed);
+      ++committed;
+    } else {
+      // Only service-level outcomes are acceptable failures.
+      EXPECT_EQ(result.deployment.failure.find("validation"),
+                std::string::npos)
+          << result.deployment.failure;
+    }
+  }
+  // The DC has room for all four small stacks.
+  EXPECT_EQ(committed, kThreads);
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 //                  [--occupancy occ.json] [--algorithm eg|egc|egbw|ba|dba]
 //                  [--deadline SECONDS] [--theta-bw X --theta-c Y]
 //                  [--out placement.json] [--annotated annotated.json]
-//                  [--commit-out occ2.json]
+//                  [--commit-out occ2.json] [--service-threads N]
 //   ostro validate --datacenter dc.json --template app.json
 //                  --placement placement.json [--occupancy occ.json]
 //   ostro report   --datacenter dc.json [--occupancy occ.json]
@@ -16,9 +16,12 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/placement_io.h"
 #include "core/scheduler.h"
+#include "core/service.h"
 #include "core/verify.h"
 #include "datacenter/dc_io.h"
 #include "datacenter/dot.h"
@@ -52,7 +55,72 @@ dc::Occupancy load_occupancy(const dc::DataCenter& datacenter,
   return dc::occupancy_from_text(datacenter, read_file(path));
 }
 
+/// --service-threads N: places N copies of the stack concurrently through
+/// core::PlacementService — a smoke/demo mode for the optimistic
+/// snapshot/plan/validate-commit protocol.  Reports per-request outcomes
+/// plus the conflict/retry totals; --commit-out captures the occupancy
+/// after every committed stack.
+int cmd_place_service(util::ArgParser& args, int threads) {
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto occupancy =
+      load_occupancy(datacenter, args.get_string("occupancy"));
+  const auto parsed =
+      os::HeatTemplate::parse_text(read_file(args.get_string("template")));
+
+  core::SearchConfig config;
+  config.theta_bw = args.get_double("theta-bw");
+  config.theta_c = args.get_double("theta-c");
+  config.deadline_seconds = args.get_double("deadline");
+  config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
+
+  core::OstroScheduler scheduler(datacenter, config);
+  scheduler.occupancy() = occupancy;
+  core::PlacementService service(scheduler);
+
+  std::vector<core::ServiceResult> results(
+      static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          service.place(parsed.topology, algorithm, config);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  int committed = 0;
+  std::uint32_t conflicts = 0, retries = 0;
+  for (int t = 0; t < threads; ++t) {
+    const core::ServiceResult& result =
+        results[static_cast<std::size_t>(t)];
+    conflicts += result.conflicts;
+    retries += result.retries;
+    if (result.placement.committed) {
+      ++committed;
+    } else {
+      std::cerr << "request " << t
+                << " not committed: " << result.placement.failure_reason
+                << "\n";
+    }
+  }
+  std::cout << "service placed " << committed << "/" << threads
+            << " concurrent stacks with " << core::to_string(algorithm)
+            << ": " << conflicts << " commit conflicts, " << retries
+            << " replans\n";
+  if (!args.get_string("commit-out").empty()) {
+    write_file(args.get_string("commit-out"),
+               dc::occupancy_to_json(scheduler.occupancy()).pretty());
+  }
+  return committed > 0 ? 0 : 2;
+}
+
 int cmd_place(util::ArgParser& args) {
+  const int service_threads =
+      static_cast<int>(args.get_int("service-threads"));
+  if (service_threads > 0) return cmd_place_service(args, service_threads);
   const auto datacenter =
       dc::datacenter_from_text(read_file(args.get_string("datacenter")));
   const auto occupancy =
@@ -198,6 +266,9 @@ int main(int argc, char** argv) {
     args.add_string("annotated", "", "write annotated template here");
     args.add_string("dot", "", "write a Graphviz rendering of the placement");
     args.add_string("commit-out", "", "write post-commit occupancy here");
+    args.add_int("service-threads", 0,
+                 "place this many copies of the stack concurrently through "
+                 "the placement service (0 = classic single placement)");
   }
   if (command == "validate") {
     args.add_string("placement", "", "placement JSON to validate");
