@@ -11,9 +11,9 @@
 #include "common.h"
 
 #include <fstream>
-#include <thread>
 
 #include "core/service.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -57,18 +57,15 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(total_stacks));
 
     util::WallTimer timer;
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        for (int i = t; i < total_stacks; i += threads) {
-          const auto index = static_cast<std::size_t>(i);
-          results[index] =
-              service.place(stacks[index], core::Algorithm::kEg, config);
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
+    // run_workers (not bare std::thread): a place() exception propagates
+    // to this call after every worker joined instead of std::terminate.
+    util::run_workers(static_cast<std::size_t>(threads), [&](std::size_t t) {
+      for (int i = static_cast<int>(t); i < total_stacks; i += threads) {
+        const auto index = static_cast<std::size_t>(i);
+        results[index] =
+            service.place(stacks[index], core::Algorithm::kEg, config);
+      }
+    });
     const double wall = timer.elapsed_seconds();
 
     int committed = 0;

@@ -99,6 +99,75 @@ PlacementService::CommitOutcome PlacementService::try_commit_with(
   return CommitOutcome::kCommitted;
 }
 
+std::size_t PlacementService::try_commit_batch(
+    std::span<BatchCommitMember> batch) {
+  static util::metrics::Counter& m_conflicts =
+      util::metrics::counter("service.conflicts");
+  static util::metrics::Counter& m_rejected =
+      util::metrics::counter("service.rejected");
+  static util::metrics::Summary& m_commit_wait =
+      util::metrics::summary("service.commit_wait_seconds");
+
+  // Deterministic rejects need no lock: infeasible or bandwidth-
+  // overcommitted members can never commit no matter what the live
+  // occupancy looks like (same pre-filter as try_commit_with).
+  std::size_t pending = 0;
+  for (BatchCommitMember& member : batch) {
+    Placement& placement = member.planned->placement;
+    if (!placement.feasible || placement.bandwidth_overcommitted) {
+      if (placement.feasible && placement.failure_reason.empty()) {
+        placement.failure_reason =
+            "placement overcommits link bandwidth; not committed";
+      }
+      member.outcome = CommitOutcome::kRejected;
+      m_rejected.inc();
+      continue;
+    }
+    member.outcome = CommitOutcome::kConflict;  // until proven otherwise
+    ++pending;
+  }
+  if (pending == 0) return 0;
+
+  util::WallTimer wait_timer;
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  m_commit_wait.observe(wait_timer.elapsed_seconds());
+
+  std::size_t committed = 0;
+  for (BatchCommitMember& member : batch) {
+    if (member.outcome == CommitOutcome::kRejected) continue;
+    Placement& placement = member.planned->placement;
+    // Per-member epoch gate.  The first member of a fresh-snapshot batch
+    // commits without re-validation; its commit bumps the epoch, so every
+    // later member is re-verified from first principles against the
+    // occupancy its batch predecessors already mutated.
+    if (scheduler_->occupancy().version() != member.planned->epoch) {
+      const auto violations = verify_placement(
+          scheduler_->occupancy(), *member.topology, placement.assignment);
+      if (!violations.empty()) {
+        member.outcome = CommitOutcome::kConflict;
+        m_conflicts.inc();
+        continue;
+      }
+    }
+    if (member.committer != nullptr && *member.committer) {
+      std::string failure;
+      if (!(*member.committer)(placement, failure)) {
+        placement.failure_reason = std::move(failure);
+        member.outcome = CommitOutcome::kRejected;
+        m_rejected.inc();
+        continue;
+      }
+    } else {
+      scheduler_->commit(*member.topology, placement);
+    }
+    placement.committed = true;
+    member.outcome = CommitOutcome::kCommitted;
+    member.commit_epoch = scheduler_->occupancy().version();
+    ++committed;
+  }
+  return committed;
+}
+
 ServiceResult PlacementService::place(const topo::AppTopology& topology,
                                       Algorithm algorithm) {
   return place_with(topology, algorithm, scheduler_->defaults(), Committer{});

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 
 #include "core/scheduler.h"
@@ -123,6 +124,30 @@ class PlacementService {
                                 PlannedPlacement& planned,
                                 const Committer& committer,
                                 std::uint64_t* commit_epoch = nullptr);
+
+  /// One member of a batched commit (the StreamingService dispatcher).
+  /// `topology`/`planned` are the inputs; `outcome`/`commit_epoch` are
+  /// filled by try_commit_batch.  A null `committer` uses the default
+  /// scheduler commit; a non-null one runs as the member's commit step
+  /// under the writer lock (same contract as try_commit_with).
+  struct BatchCommitMember {
+    const topo::AppTopology* topology = nullptr;
+    PlannedPlacement* planned = nullptr;
+    const Committer* committer = nullptr;
+    CommitOutcome outcome = CommitOutcome::kConflict;
+    std::uint64_t commit_epoch = 0;
+  };
+
+  /// Batched step 3: validate-and-commit every member under ONE
+  /// writer-lock acquisition, in batch order.  Members are typically
+  /// planned against the same shared snapshot, so the first committable
+  /// member takes the epoch fast path and every later member is
+  /// re-verified against the occupancy as already mutated by its batch
+  /// predecessors — intra-batch resource collisions surface as kConflict
+  /// exactly like cross-request races, and the caller spills those members
+  /// into the per-request conflict-replan ladder.  Returns the number of
+  /// members committed.
+  std::size_t try_commit_batch(std::span<BatchCommitMember> batch);
 
   /// The full request: plan → try_commit → bounded conflict-retry ladder.
   /// The returned placement has `committed` set iff it was applied;

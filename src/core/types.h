@@ -116,6 +116,22 @@ struct SearchConfig {
   /// placement uncommitted.  Planning and single-scheduler paths ignore it.
   std::uint32_t service_max_conflict_retries = 3;
 
+  /// core::StreamingService only: capacity of the bounded admission queue.
+  /// A submit that finds the queue full is rejected immediately (the
+  /// admission-control answer to sustained overload) rather than queued
+  /// into unbounded latency.  Must be >= 1.
+  std::size_t stream_queue_capacity = 1024;
+
+  /// core::StreamingService only: how many queued requests a dispatcher
+  /// batches against one shared occupancy snapshot (plan every member with
+  /// no lock held, validate-and-commit the group under one writer-lock
+  /// acquisition).  1 degenerates to per-request dispatch.  Must be >= 1.
+  std::size_t stream_max_batch = 8;
+
+  /// core::StreamingService only: dispatcher threads draining the
+  /// admission queue (each forms its own batches).  Must be >= 1.
+  std::size_t stream_dispatch_threads = 1;
+
   /// DBA* children beam: after candidate generation (and host-equivalence
   /// dedup) only the best this-many children by estimated utility are
   /// queued.  Bounds the branching factor — a 2400-host fleet otherwise

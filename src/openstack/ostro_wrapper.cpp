@@ -43,6 +43,50 @@ WrapperResult OstroHeatWrapper::process(const util::Json& template_document,
   return result;
 }
 
+OstroHeatWrapper::StreamedStack OstroHeatWrapper::submit_streamed(
+    core::StreamingService& stream, const util::Json& template_document,
+    core::Algorithm algorithm, core::StreamPriority priority,
+    double deadline_seconds) {
+  StreamedStack streamed;
+  streamed.stack = std::make_shared<WrapperResult>();
+
+  HeatTemplate parsed;
+  try {
+    parsed = HeatTemplate::parse(template_document);
+  } catch (const TemplateError& e) {
+    streamed.stack->deployment.failure = e.what();
+    std::promise<core::StreamResult> failed;
+    core::StreamResult result;
+    result.status = core::StreamStatus::kFailed;
+    result.service.placement.failure_reason = e.what();
+    failed.set_value(std::move(result));
+    streamed.result = failed.get_future();
+    return streamed;
+  }
+
+  core::StreamRequest request;
+  request.topology = parsed.topology;
+  request.algorithm = algorithm;
+  request.priority = priority;
+  request.deadline_seconds = deadline_seconds;
+  // Same commit step as process(), shared with the caller through `stack`:
+  // the dispatcher runs it under the service writer lock after the batch
+  // gate validated the plan, so the engine deploy stays TOCTOU-free even
+  // when the request was batched with others.
+  request.committer = [state = streamed.stack, document = template_document,
+                       parsed = std::move(parsed), this](
+                          const core::Placement& placement,
+                          std::string& failure) {
+    state->annotated_template = annotate_with_placement(
+        document, parsed, placement.assignment, service_->datacenter());
+    state->deployment = engine_->deploy(state->annotated_template);
+    if (!state->deployment.success) failure = state->deployment.failure;
+    return state->deployment.success;
+  };
+  streamed.result = stream.submit(std::move(request));
+  return streamed;
+}
+
 WrapperResult OstroHeatWrapper::process_text(std::string_view template_text,
                                              core::Algorithm algorithm) {
   try {

@@ -10,10 +10,12 @@
 // produces a clean replan (not a spurious "placement validation failed").
 #pragma once
 
+#include <future>
 #include <memory>
 
 #include "core/scheduler.h"
 #include "core/service.h"
+#include "core/stream.h"
 #include "openstack/heat_engine.h"
 #include "openstack/heat_template.h"
 
@@ -53,6 +55,27 @@ class OstroHeatWrapper {
                                       core::Algorithm algorithm);
   [[nodiscard]] WrapperResult process_text(std::string_view template_text,
                                            core::Algorithm algorithm);
+
+  /// A stack admitted to the streaming front end.  `result` resolves when
+  /// a dispatcher completes the request; `stack` is shared with the commit
+  /// step and carries the annotated template and engine deployment once
+  /// the result is ready (merge the placement from the StreamResult).
+  struct StreamedStack {
+    std::future<core::StreamResult> result;
+    std::shared_ptr<WrapperResult> stack;
+  };
+
+  /// Streamed pipeline: parse, then enqueue on `stream` (which must front
+  /// the same PlacementService this wrapper deploys through) with the
+  /// annotate+deploy step as the request's commit step — the same
+  /// TOCTOU-free shape as process(), but batched, prioritized and
+  /// deadline-gated by the admission queue.  Template parse errors resolve
+  /// the future immediately as kFailed.
+  [[nodiscard]] StreamedStack submit_streamed(
+      core::StreamingService& stream, const util::Json& template_document,
+      core::Algorithm algorithm,
+      core::StreamPriority priority = core::StreamPriority::kNormal,
+      double deadline_seconds = 0.0);
 
  private:
   std::unique_ptr<core::PlacementService> owned_service_;

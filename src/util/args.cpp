@@ -104,8 +104,14 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     if (inline_value) {
       assign(option, name, *inline_value);
     } else {
-      if (i + 1 >= argc) {
-        throw std::invalid_argument("--" + name + " requires a value");
+      // A following "--token" is the next option, not this option's value:
+      // consuming it would both mis-assign this option and silently
+      // swallow the flag ("--commit-out --metrics").  Negative numbers
+      // ("-2") only carry a single dash and still parse as values.
+      if (i + 1 >= argc || starts_with(argv[i + 1], "--")) {
+        throw std::invalid_argument(
+            "--" + name + " requires a value (use --" + name +
+            "=VALUE for values beginning with \"--\")");
       }
       assign(option, name, argv[++i]);
     }

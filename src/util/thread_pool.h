@@ -71,4 +71,14 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Spawns `count` one-shot worker threads running body(worker_index),
+/// joins them ALL, then rethrows the first exception any worker raised
+/// (in worker-index order).  This is the safe shape for client-side
+/// fan-out: a bare `std::thread` lambda turns an escaping exception into
+/// std::terminate mid-run, and — as with ThreadPool::parallel_for —
+/// nothing is rethrown until every worker has finished, so `body` and the
+/// caller's captures are never referenced past this call's lifetime.
+void run_workers(std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
 }  // namespace ostro::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -136,6 +137,66 @@ TEST(WrapperTest, ConcurrentStacksNeverFailEngineValidation) {
   }
   // The DC has room for all four small stacks.
   EXPECT_EQ(committed, kThreads);
+}
+
+TEST(WrapperStreamTest, StreamedStackDeploysLikeProcess) {
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  core::PlacementService service(scheduler);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(service, engine);
+
+  core::SearchConfig config;
+  config.threads = 1;
+  core::StreamingService stream(service, config, /*start_dispatchers=*/false);
+
+  auto streamed = wrapper.submit_streamed(
+      stream, util::Json::parse(kTemplate), core::Algorithm::kEg,
+      core::StreamPriority::kHigh);
+  EXPECT_EQ(stream.dispatch_once(), 1u);
+
+  const core::StreamResult result = streamed.result.get();
+  ASSERT_EQ(result.status, core::StreamStatus::kCommitted);
+  ASSERT_TRUE(result.service.placement.committed);
+  // The commit step ran the engine deploy and filled the shared stack.
+  ASSERT_TRUE(streamed.stack->deployment.success)
+      << streamed.stack->deployment.failure;
+  EXPECT_EQ(streamed.stack->deployment.assignment,
+            result.service.placement.assignment);
+  EXPECT_DOUBLE_EQ(streamed.stack->deployment.reserved_bandwidth_mbps, 0.0);
+  EXPECT_EQ(streamed.stack->deployment.new_active_hosts, 1);
+  for (const char* key : {"a", "b", "v"}) {
+    EXPECT_TRUE(streamed.stack->annotated_template.at("resources")
+                    .at(key)
+                    .contains("scheduler_hints"))
+        << key;
+  }
+}
+
+TEST(WrapperStreamTest, BadTemplateResolvesImmediatelyAsFailed) {
+  const auto datacenter = small_dc(2, 2);
+  core::OstroScheduler scheduler(datacenter);
+  core::PlacementService service(scheduler);
+  HeatEngine engine(scheduler.occupancy());
+  OstroHeatWrapper wrapper(service, engine);
+
+  core::SearchConfig config;
+  config.threads = 1;
+  core::StreamingService stream(service, config, /*start_dispatchers=*/false);
+
+  auto streamed = wrapper.submit_streamed(
+      stream, util::Json::parse(R"({"resources": {"x": {"type": "Bad"}}})"),
+      core::Algorithm::kEg);
+  // Parse failures never enter the queue: the future is already resolved.
+  ASSERT_EQ(streamed.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const core::StreamResult result = streamed.result.get();
+  EXPECT_EQ(result.status, core::StreamStatus::kFailed);
+  EXPECT_FALSE(result.service.placement.failure_reason.empty());
+  EXPECT_FALSE(streamed.stack->deployment.success);
+  EXPECT_EQ(streamed.stack->deployment.failure,
+            result.service.placement.failure_reason);
+  EXPECT_EQ(stream.queue_depth(), 0u);
 }
 
 }  // namespace

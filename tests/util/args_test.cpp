@@ -63,6 +63,40 @@ TEST(ArgParserTest, MissingValueThrows) {
   EXPECT_THROW(parse(parser, {"--runs"}), std::invalid_argument);
 }
 
+// Regression test: the seed parser silently consumed a following --option
+// token as the value, so "--algo --verbose" set algo to the literal string
+// "--verbose" and swallowed the flag.  A value slot followed by another
+// option must be a hard "requires a value" error instead.
+TEST(ArgParserTest, OptionTokenIsNeverConsumedAsValue) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--algo", "--verbose"}), std::invalid_argument);
+  ArgParser parser2 = make_parser();
+  EXPECT_THROW(parse(parser2, {"--runs", "--theta", "0.5"}),
+               std::invalid_argument);
+  // The error must steer toward the --option=VALUE escape hatch.
+  ArgParser parser3 = make_parser();
+  try {
+    parse(parser3, {"--algo", "--verbose"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("requires a value"),
+              std::string::npos);
+  }
+}
+
+// Negative numbers start with a single dash and must still parse as
+// space-separated values; "--" itself is only rejected as a prefix.
+TEST(ArgParserTest, NegativeNumbersStillParseAsValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--runs", "-2", "--theta", "-0.5"}));
+  EXPECT_EQ(parser.get_int("runs"), -2);
+  EXPECT_DOUBLE_EQ(parser.get_double("theta"), -0.5);
+  // --algo=--verbose remains expressible via the equals form.
+  ArgParser parser2 = make_parser();
+  ASSERT_TRUE(parse(parser2, {"--algo=--verbose"}));
+  EXPECT_EQ(parser2.get_string("algo"), "--verbose");
+}
+
 TEST(ArgParserTest, BadValueThrows) {
   ArgParser parser = make_parser();
   EXPECT_THROW(parse(parser, {"--runs", "abc"}), std::invalid_argument);

@@ -6,6 +6,10 @@
 //                  [--deadline SECONDS] [--theta-bw X --theta-c Y]
 //                  [--out placement.json] [--annotated annotated.json]
 //                  [--commit-out occ2.json] [--service-threads N]
+//   ostro serve    --datacenter dc.json [--occupancy occ.json]
+//                  [--in FIFO|-] [--results FILE|-]
+//                  [--stream-queue-capacity N] [--stream-batch K]
+//                  [--stream-dispatch-threads D]
 //   ostro validate --datacenter dc.json --template app.json
 //                  --placement placement.json [--occupancy occ.json]
 //   ostro report   --datacenter dc.json [--occupancy occ.json]
@@ -13,15 +17,23 @@
 // All files are JSON: the data-center grammar lives in
 // src/datacenter/dc_io.h, the QoS-enhanced Heat template grammar in
 // src/openstack/heat_template.h, placements in src/core/placement_io.h.
+// `serve` is the daemon mode: newline-delimited JSON placement requests on
+// stdin (or a FIFO), NDJSON results out — see cmd_serve below.
+#include <condition_variable>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/placement_io.h"
 #include "core/scheduler.h"
 #include "core/service.h"
+#include "core/stream.h"
 #include "core/verify.h"
 #include "datacenter/dc_io.h"
 #include "datacenter/dot.h"
@@ -30,6 +42,8 @@
 #include "openstack/heat_template.h"
 #include "util/args.h"
 #include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -81,15 +95,11 @@ int cmd_place_service(util::ArgParser& args, int threads) {
 
   std::vector<core::ServiceResult> results(
       static_cast<std::size_t>(threads));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      results[static_cast<std::size_t>(t)] =
-          service.place(parsed.topology, algorithm, config);
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  // run_workers (not bare std::thread): a place() exception propagates to
+  // main's handler after every worker joined instead of std::terminate.
+  util::run_workers(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    results[t] = service.place(parsed.topology, algorithm, config);
+  });
 
   int committed = 0;
   std::uint32_t conflicts = 0, retries = 0;
@@ -120,6 +130,12 @@ int cmd_place_service(util::ArgParser& args, int threads) {
 int cmd_place(util::ArgParser& args) {
   const int service_threads =
       static_cast<int>(args.get_int("service-threads"));
+  // Reject negatives instead of silently falling through to the serial
+  // path: "--service-threads -2" is a mistake, not a mode selection.
+  if (service_threads < 0) {
+    throw std::invalid_argument("--service-threads must be >= 0, got " +
+                                std::to_string(service_threads));
+  }
   if (service_threads > 0) return cmd_place_service(args, service_threads);
   const auto datacenter =
       dc::datacenter_from_text(read_file(args.get_string("datacenter")));
@@ -192,6 +208,202 @@ int cmd_place(util::ArgParser& args) {
   return 0;
 }
 
+/// `ostro serve` — the long-running daemon mode.  Reads newline-delimited
+/// JSON placement requests from --in (a path, typically a FIFO; "-" =
+/// stdin) and writes one NDJSON result line per request to --results in
+/// submission order.  Request grammar:
+///
+///   {"id": "r1", "template": "stack.json"}            // path form
+///   {"id": "r2", "stack": { ...heat template... },    // inline form
+///    "algorithm": "dba", "priority": "high", "deadline": 0.25}
+///
+/// "algorithm" defaults to --algorithm, "priority" (low|normal|high) to
+/// normal, "deadline" is the per-request ADMISSION deadline in seconds
+/// (how long the request may wait queued; --deadline stays the DBA*
+/// search deadline).  A line reading "quit" (or EOF) ends the session;
+/// queued requests still drain before exit.
+int cmd_serve(util::ArgParser& args) {
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto occupancy =
+      load_occupancy(datacenter, args.get_string("occupancy"));
+
+  core::SearchConfig config;
+  config.theta_bw = args.get_double("theta-bw");
+  config.theta_c = args.get_double("theta-c");
+  config.deadline_seconds = args.get_double("deadline");
+  config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  const auto default_algorithm =
+      core::parse_algorithm(args.get_string("algorithm"));
+
+  // Negative or zero stream knobs are argument errors, not silent modes
+  // (the --service-threads lesson applied to the new flags).
+  const auto stream_knob = [&](const char* name) {
+    const std::int64_t value = args.get_int(name);
+    if (value <= 0) {
+      throw std::invalid_argument(std::string("--") + name +
+                                  " must be >= 1, got " +
+                                  std::to_string(value));
+    }
+    return static_cast<std::size_t>(value);
+  };
+  config.stream_queue_capacity = stream_knob("stream-queue-capacity");
+  config.stream_max_batch = stream_knob("stream-batch");
+  config.stream_dispatch_threads = stream_knob("stream-dispatch-threads");
+
+  core::OstroScheduler scheduler(datacenter, config);
+  scheduler.occupancy() = occupancy;
+  core::PlacementService service(scheduler);
+  core::StreamingService stream(service, config);
+
+  std::ifstream in_file;
+  std::istream* in = &std::cin;
+  if (args.get_string("in") != "-") {
+    in_file.open(args.get_string("in"));
+    if (!in_file) {
+      throw std::runtime_error("cannot open " + args.get_string("in"));
+    }
+    in = &in_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (args.get_string("results") != "-") {
+    out_file.open(args.get_string("results"));
+    if (!out_file) {
+      throw std::runtime_error("cannot write " + args.get_string("results"));
+    }
+    out = &out_file;
+  }
+
+  // The reader (this thread) submits requests; the writer thread resolves
+  // futures in submission order and streams result lines out, so results
+  // flow back while stdin is still open.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::pair<std::string, std::future<core::StreamResult>>>
+      inflight;
+  bool input_done = false;
+  struct Tally {
+    std::uint64_t committed = 0, failed = 0, expired = 0, rejected = 0,
+                  errors = 0;
+  } tally;
+
+  std::thread writer([&] {
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return !inflight.empty() || input_done; });
+      if (inflight.empty()) return;
+      auto item = std::move(inflight.front());
+      inflight.pop_front();
+      lock.unlock();
+
+      util::JsonObject response;
+      response["id"] = item.first;
+      try {
+        const core::StreamResult result = item.second.get();
+        response["status"] = core::to_string(result.status);
+        response["wait_seconds"] = result.wait_seconds;
+        response["batch_size"] = static_cast<int>(result.batch_size);
+        response["spills"] = static_cast<int>(result.spills);
+        response["conflicts"] =
+            static_cast<int>(result.service.conflicts);
+        response["retries"] = static_cast<int>(result.service.retries);
+        const core::Placement& placement = result.service.placement;
+        if (result.status == core::StreamStatus::kCommitted) {
+          response["utility"] = placement.utility;
+          response["reserved_bandwidth_mbps"] =
+              placement.reserved_bandwidth_mbps;
+          response["new_active_hosts"] = placement.new_active_hosts;
+          response["commit_epoch"] =
+              static_cast<std::int64_t>(result.service.commit_epoch);
+          ++tally.committed;
+        } else {
+          if (!placement.failure_reason.empty()) {
+            response["failure"] = placement.failure_reason;
+          }
+          switch (result.status) {
+            case core::StreamStatus::kFailed: ++tally.failed; break;
+            case core::StreamStatus::kExpired: ++tally.expired; break;
+            case core::StreamStatus::kRejected: ++tally.rejected; break;
+            case core::StreamStatus::kCommitted: break;
+          }
+        }
+      } catch (const std::exception& e) {
+        response["status"] = "error";
+        response["failure"] = e.what();
+        ++tally.errors;
+      }
+      (*out) << util::Json(std::move(response)).dump() << '\n'
+             << std::flush;
+    }
+  });
+
+  std::string line;
+  std::uint64_t next_id = 0;
+  while (std::getline(*in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+
+    std::string id = "req-" + std::to_string(next_id);
+    std::future<core::StreamResult> future;
+    try {
+      const util::Json doc = util::Json::parse(trimmed);
+      id = doc.string_or("id", id);
+      os::HeatTemplate parsed;
+      if (doc.contains("stack")) {
+        parsed = os::HeatTemplate::parse(doc.at("stack"));
+      } else if (doc.contains("template")) {
+        parsed =
+            os::HeatTemplate::parse_text(read_file(doc.at("template").as_string()));
+      } else {
+        throw std::runtime_error(
+            "request needs \"template\" (path) or \"stack\" (inline)");
+      }
+      core::StreamRequest request;
+      request.topology = parsed.topology;
+      request.algorithm = doc.contains("algorithm")
+                              ? core::parse_algorithm(
+                                    doc.at("algorithm").as_string())
+                              : default_algorithm;
+      request.priority =
+          core::parse_stream_priority(doc.string_or("priority", "normal"));
+      request.deadline_seconds = doc.number_or("deadline", 0.0);
+      future = stream.submit(std::move(request));
+    } catch (const std::exception& e) {
+      // A malformed request fails that request, not the daemon.
+      std::promise<core::StreamResult> bad;
+      core::StreamResult result;
+      result.status = core::StreamStatus::kRejected;
+      result.service.placement.failure_reason =
+          std::string("bad request: ") + e.what();
+      bad.set_value(std::move(result));
+      future = bad.get_future();
+    }
+    ++next_id;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      inflight.emplace_back(std::move(id), std::move(future));
+    }
+    cv.notify_one();
+  }
+
+  stream.close();  // no new admissions; dispatchers drain the queue
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    input_done = true;
+  }
+  cv.notify_all();
+  writer.join();
+  stream.shutdown();
+
+  std::cerr << "served " << next_id << " request(s): " << tally.committed
+            << " committed, " << tally.failed << " failed, " << tally.expired
+            << " expired, " << tally.rejected << " rejected, " << tally.errors
+            << " errors\n";
+  return tally.errors == 0 ? 0 : 2;
+}
+
 int cmd_validate(util::ArgParser& args) {
   const auto datacenter =
       dc::datacenter_from_text(read_file(args.get_string("datacenter")));
@@ -238,7 +450,7 @@ int cmd_report(util::ArgParser& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: ostro <place|validate|report> [options]\n"
+    std::cerr << "usage: ostro <place|serve|validate|report> [options]\n"
                  "       ostro <command> --help\n";
     return 1;
   }
@@ -254,7 +466,7 @@ int main(int argc, char** argv) {
   if (command == "place" || command == "validate") {
     args.add_string("template", "", "QoS-enhanced Heat template JSON");
   }
-  if (command == "place") {
+  if (command == "place" || command == "serve") {
     args.add_string("algorithm", "eg", "eg | egc | egbw | ba | dba");
     args.add_string("budget", "fixed",
                     "BA*/DBA* search-budget mode: fixed (paper constants) | "
@@ -262,6 +474,8 @@ int main(int argc, char** argv) {
     args.add_double("deadline", 0.0, "DBA* deadline (seconds)");
     args.add_double("theta-bw", 0.6, "bandwidth objective weight");
     args.add_double("theta-c", 0.4, "host-count objective weight");
+  }
+  if (command == "place") {
     args.add_string("out", "", "write placement JSON here (default stdout)");
     args.add_string("annotated", "", "write annotated template here");
     args.add_string("dot", "", "write a Graphviz rendering of the placement");
@@ -269,6 +483,20 @@ int main(int argc, char** argv) {
     args.add_int("service-threads", 0,
                  "place this many copies of the stack concurrently through "
                  "the placement service (0 = classic single placement)");
+  }
+  if (command == "serve") {
+    args.add_string("in", "-",
+                    "NDJSON request source: a path (FIFO or file) or - for "
+                    "stdin");
+    args.add_string("results", "-",
+                    "NDJSON result sink: a path or - for stdout");
+    args.add_int("stream-queue-capacity", 1024,
+                 "bounded admission-queue capacity (submits beyond it are "
+                 "rejected)");
+    args.add_int("stream-batch", 8,
+                 "requests batched against one shared occupancy snapshot");
+    args.add_int("stream-dispatch-threads", 1,
+                 "dispatcher threads draining the admission queue");
   }
   if (command == "validate") {
     args.add_string("placement", "", "placement JSON to validate");
@@ -282,6 +510,8 @@ int main(int argc, char** argv) {
     int status = 1;
     if (command == "place") {
       status = cmd_place(args);
+    } else if (command == "serve") {
+      status = cmd_serve(args);
     } else if (command == "validate") {
       status = cmd_validate(args);
     } else if (command == "report") {
