@@ -1,17 +1,18 @@
 #include "core/astar.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <queue>
-#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/candidates.h"
 #include "core/estimator.h"
 #include "core/greedy.h"
+#include "core/search_core.h"
 #include "core/symmetry.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -21,6 +22,18 @@ namespace ostro::core {
 namespace {
 
 constexpr double kEps = 1e-12;
+
+// Reference-mode open-list backing reservation (the quick win riding along
+// with the pooled core): sized to max_open_paths but capped so the default
+// 2M-path valve does not blindly reserve ~100 MB per plan.
+constexpr std::size_t kOpenReserveCap = 64 * 1024;
+constexpr std::size_t kDefaultOpenReserve = 4 * 1024;
+
+[[nodiscard]] std::size_t open_reserve_hint(
+    const SearchConfig& config) noexcept {
+  if (config.max_open_paths == 0) return kDefaultOpenReserve;
+  return std::min<std::size_t>(config.max_open_paths + 1, kOpenReserveCap);
+}
 
 [[nodiscard]] dc::Scope forced_scope(topo::DiversityLevel level) noexcept {
   switch (level) {
@@ -32,22 +45,6 @@ constexpr double kEps = 1e-12;
   return dc::Scope::kSameRack;
 }
 
-/// A search path.  Children are *lazy*: they hold their parent's
-/// materialized state plus the one (node -> host) decision and a cheap
-/// admissible priority; the actual PartialPlacement is built only if the
-/// path is popped.  This makes generating a child O(degree) instead of
-/// O(|V| + place), which is what lets the search expand thousands of paths
-/// per second against a 2400-host data center.
-struct PathEntry {
-  std::shared_ptr<const PartialPlacement> parent;  // materialized ancestor
-  topo::NodeId node = topo::kInvalidNode;  // decision on top of parent
-  dc::HostId host = dc::kInvalidHost;
-  double priority = 0.0;  // ordering key (see sharp_ordering in run_astar)
-  bool exact = false;     // priority was computed on the materialized state
-  std::uint32_t depth = 0;
-  std::uint64_t sequence = 0;  // insertion order; deterministic tie-break
-};
-
 /// BA* pops the least-priority path (best-first on the admissible bound,
 /// Algorithm 2).  DBA* pops the deepest path first and breaks depth ties by
 /// priority: a best-child-first depth-first search with backtracking.  This
@@ -55,10 +52,16 @@ struct PathEntry {
 /// first" — it guarantees the search keeps completing placements (one dive
 /// is at most |V| pops), which is what makes DBA* an anytime algorithm
 /// whose result improves with T.
+///
+/// Sequence numbers are unique among queued entries, so this comparator
+/// defines a strict total order — the popped minimum is unique, which is
+/// why the pooled core's OpenHeap (implementing the same order over packed
+/// keys) pops the identical entry sequence.
 struct PathOrder {
   bool depth_first = false;
 
-  bool operator()(const PathEntry& a, const PathEntry& b) const noexcept {
+  template <typename Entry>
+  bool operator()(const Entry& a, const Entry& b) const noexcept {
     if (depth_first && a.depth != b.depth) {
       return a.depth < b.depth;  // max-heap on depth
     }
@@ -118,12 +121,14 @@ struct ChildScore {
 
 /// Canonical signature of a partial assignment: hosts of interchangeable
 /// nodes are sorted within their symmetry group, so permuted duplicates
-/// collide (the closed-queue check of Algorithm 2, line 10).
-[[nodiscard]] std::uint64_t canonical_signature(const PartialPlacement& state,
-                                                const SymmetryGroups& groups) {
+/// collide (the closed-queue check of Algorithm 2, line 10).  `keys` is
+/// caller-owned scratch reused across expansions.
+[[nodiscard]] std::uint64_t canonical_signature(
+    const PartialPlacement& state, const SymmetryGroups& groups,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& keys) {
   const auto& assignment = state.assignment();
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
-  keys.reserve(state.placed_count());
+  keys.clear();
+  if (keys.capacity() < state.placed_count()) keys.reserve(state.placed_count());
   for (topo::NodeId v = 0; v < assignment.size(); ++v) {
     if (assignment[v] == dc::kInvalidHost) continue;
     keys.emplace_back(groups.group_of[v], assignment[v]);
@@ -137,22 +142,13 @@ struct ChildScore {
   return h;
 }
 
-/// Drops candidate hosts that are *placement-equivalent* to an earlier one:
-/// identical available resources, identical available bandwidth on every
-/// uplink of their hierarchy path, identical active flag, and an identical
-/// hierarchy relation (scope) to every host the partial placement already
-/// uses.  Two equivalent hosts generate isomorphic search subtrees — every
-/// constraint check and cost term depends only on those quantities — so
-/// expanding one per equivalence class preserves optimality while cutting
-/// the branching factor from |H| to the number of distinct host
-/// configurations (dozens instead of thousands in a 2400-host fleet).
-void dedupe_equivalent_hosts(const PartialPlacement& state,
-                             std::vector<dc::HostId>& candidates) {
+/// Equivalence hash of one candidate host: identical available resources,
+/// identical available bandwidth on every uplink of its hierarchy path,
+/// identical active flag and tags, and an identical hierarchy relation
+/// (scope) to every host the partial placement already uses.
+[[nodiscard]] std::uint64_t host_equivalence_hash(
+    const PartialPlacement& state, dc::HostId host) {
   const dc::DataCenter& datacenter = state.datacenter();
-  const auto& used = state.used_hosts();
-  std::unordered_set<std::uint64_t> seen;
-  std::vector<dc::HostId> kept;
-  kept.reserve(candidates.size());
   const auto mix = [](std::uint64_t& h, std::uint64_t v) {
     h ^= util::splitmix64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   };
@@ -162,33 +158,65 @@ void dedupe_equivalent_hosts(const PartialPlacement& state,
     std::memcpy(&bits, &d, sizeof bits);
     mix(h, bits);
   };
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const topo::Resources avail = state.available(host);
+  mix_double(h, avail.vcpus);
+  mix_double(h, avail.mem_gb);
+  mix_double(h, avail.disk_gb);
+  mix_double(h, state.link_available(datacenter.host_link(host)));
+  const dc::Host& meta = datacenter.host(host);
+  mix_double(h, state.link_available(datacenter.rack_link(meta.rack)));
+  mix_double(h, state.link_available(datacenter.pod_link(meta.pod)));
+  mix_double(h, state.link_available(datacenter.site_link(meta.datacenter)));
+  mix(h, state.is_active(host) ? 1 : 0);
+  for (const auto& tag : meta.tags) {
+    std::uint64_t th = 1469598103934665603ULL;
+    for (const char c : tag) {
+      th ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      th *= 1099511628211ULL;
+    }
+    mix(h, th);
+  }
+  for (const dc::HostId u : state.used_hosts()) {
+    mix(h, static_cast<std::uint64_t>(datacenter.scope_between(host, u)));
+  }
+  return h;
+}
+
+/// Drops candidate hosts that are *placement-equivalent* to an earlier one.
+/// Two equivalent hosts generate isomorphic search subtrees — every
+/// constraint check and cost term depends only on the hashed quantities —
+/// so expanding one per equivalence class preserves optimality while
+/// cutting the branching factor from |H| to the number of distinct host
+/// configurations (dozens instead of thousands in a 2400-host fleet).
+void dedupe_equivalent_hosts(const PartialPlacement& state,
+                             std::vector<dc::HostId>& candidates) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<dc::HostId> kept;
+  kept.reserve(candidates.size());
   for (const dc::HostId host : candidates) {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    const topo::Resources avail = state.available(host);
-    mix_double(h, avail.vcpus);
-    mix_double(h, avail.mem_gb);
-    mix_double(h, avail.disk_gb);
-    mix_double(h, state.link_available(datacenter.host_link(host)));
-    const dc::Host& meta = datacenter.host(host);
-    mix_double(h, state.link_available(datacenter.rack_link(meta.rack)));
-    mix_double(h, state.link_available(datacenter.pod_link(meta.pod)));
-    mix_double(h,
-               state.link_available(datacenter.site_link(meta.datacenter)));
-    mix(h, state.is_active(host) ? 1 : 0);
-    for (const auto& tag : meta.tags) {
-      std::uint64_t th = 1469598103934665603ULL;
-      for (const char c : tag) {
-        th ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-        th *= 1099511628211ULL;
-      }
-      mix(h, th);
+    if (seen.insert(host_equivalence_hash(state, host)).second) {
+      kept.push_back(host);
     }
-    for (const dc::HostId u : used) {
-      mix(h, static_cast<std::uint64_t>(datacenter.scope_between(host, u)));
-    }
-    if (seen.insert(h).second) kept.push_back(host);
   }
   candidates = std::move(kept);
+}
+
+/// Pooled-core variant over recycled scratch: same exact u64 membership
+/// test (hence identical survivors), zero allocations once warm.
+void dedupe_equivalent_hosts_pooled(const PartialPlacement& state,
+                                    std::vector<dc::HostId>& candidates,
+                                    util::StampedSet64& seen,
+                                    std::vector<dc::HostId>& kept) {
+  seen.clear();
+  kept.clear();
+  if (kept.capacity() < candidates.size()) kept.reserve(candidates.size());
+  for (const dc::HostId host : candidates) {
+    if (seen.insert(host_equivalence_hash(state, host))) {
+      kept.push_back(host);
+    }
+  }
+  candidates.assign(kept.begin(), kept.end());
 }
 
 /// Probability that a popped path at progress s is pruned: P(x > s) for
@@ -198,7 +226,9 @@ void dedupe_equivalent_hosts(const PartialPlacement& state,
   return (r - s) / r;
 }
 
-/// Incumbent: the best complete placement known so far.
+/// Incumbent: the best complete placement known so far.  offer() copies (or
+/// moves a self-contained state), so under the pooled core the incumbent
+/// never references arena memory (PartialPlacement's copy flattens chains).
 struct Incumbent {
   std::optional<PartialPlacement> state;
   double utility = std::numeric_limits<double>::infinity();
@@ -212,36 +242,212 @@ struct Incumbent {
   }
 };
 
-}  // namespace
+/// Process-wide counters mirroring the per-run SearchStats; BA* and DBA*
+/// share the "astar." namespace.  Bundled as references so the templated
+/// loop registers each name once.
+struct AstarMetrics {
+  util::metrics::Counter& expanded;
+  util::metrics::Counter& generated;
+  util::metrics::Counter& pruned_bound;
+  util::metrics::Counter& pruned_random;
+  util::metrics::Counter& deduped;
+  util::metrics::Counter& symmetry;
+  util::metrics::Counter& eg_reruns;
+  util::metrics::Summary& open_size;
+  util::metrics::Summary& eg_seconds;
+};
 
-AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
-                       bool deadline_bounded, util::ThreadPool* pool) {
-  // Process-wide counters mirroring the per-run SearchStats; BA* and DBA*
-  // share the "astar." namespace.
-  static util::metrics::Counter& m_runs = util::metrics::counter("astar.runs");
-  static util::metrics::Counter& m_expanded =
-      util::metrics::counter("astar.nodes_expanded");
-  static util::metrics::Counter& m_generated =
-      util::metrics::counter("astar.paths_generated");
-  static util::metrics::Counter& m_pruned_bound =
-      util::metrics::counter("astar.paths_pruned_bound");
-  static util::metrics::Counter& m_pruned_random =
-      util::metrics::counter("astar.paths_pruned_random");
-  static util::metrics::Counter& m_deduped =
-      util::metrics::counter("astar.paths_deduped");
-  static util::metrics::Counter& m_symmetry =
-      util::metrics::counter("astar.symmetry_candidates_pruned");
-  static util::metrics::Counter& m_eg_reruns =
-      util::metrics::counter("astar.eg_reruns");
-  static util::metrics::Summary& m_open_size =
-      util::metrics::summary("astar.open_queue_size");
-  static util::metrics::Summary& m_run_seconds =
-      util::metrics::summary("astar.run_seconds");
-  static util::metrics::Summary& m_eg_seconds =
-      util::metrics::summary("astar.eg_rerun_seconds");
-  const util::metrics::ScopedTimer phase_timer(m_run_seconds);
-  m_runs.inc();
+/// Reference memory model (SearchCore::kReference): shared_ptr-linked
+/// states, std::priority_queue open list, unordered_set closed set — the
+/// original containers, kept as the differential baseline.
+struct ReferenceCore {
+  using StateRef = std::shared_ptr<const PartialPlacement>;
 
+  /// A search path.  Children are *lazy*: they hold their parent's
+  /// materialized state plus the one (node -> host) decision and a cheap
+  /// admissible priority; the actual PartialPlacement is built only if the
+  /// path is popped.  This makes generating a child O(degree) instead of
+  /// O(|V| + place), which is what lets the search expand thousands of
+  /// paths per second against a 2400-host data center.
+  struct Entry {
+    StateRef parent;                         // materialized ancestor
+    topo::NodeId node = topo::kInvalidNode;  // decision on top of parent
+    dc::HostId host = dc::kInvalidHost;
+    double priority = 0.0;  // ordering key (see sharp_ordering)
+    bool exact = false;     // priority was computed on the materialized state
+    std::uint32_t depth = 0;
+    std::uint64_t sequence = 0;  // insertion order; deterministic tie-break
+  };
+
+  ReferenceCore(bool sharp, const SearchConfig& config)
+      : open(PathOrder{sharp}, reserved_backing(config)) {}
+
+  static std::vector<Entry> reserved_backing(const SearchConfig& config) {
+    std::vector<Entry> backing;
+    backing.reserve(open_reserve_hint(config));
+    return backing;
+  }
+
+  void push(StateRef parent, topo::NodeId node, dc::HostId host,
+            double priority, bool exact, std::uint32_t depth,
+            std::uint64_t sequence) {
+    open.push(Entry{std::move(parent), node, host, priority, exact, depth,
+                    sequence});
+  }
+  Entry pop() {
+    Entry entry = open.top();
+    open.pop();
+    return entry;
+  }
+  [[nodiscard]] std::size_t open_size() const { return open.size(); }
+  [[nodiscard]] bool open_empty() const { return open.empty(); }
+
+  bool closed_insert(std::uint64_t signature) {
+    return closed.insert(signature).second;
+  }
+
+  StateRef make_root(const PartialPlacement& initial) {
+    return std::make_shared<PartialPlacement>(initial);
+  }
+  StateRef materialize(const Entry& entry) {
+    auto state = std::make_shared<PartialPlacement>(*entry.parent);
+    state->place(entry.node, entry.host);
+    return state;
+  }
+
+  void dedupe(const PartialPlacement& state,
+              std::vector<dc::HostId>& candidates) {
+    dedupe_equivalent_hosts(state, candidates);
+  }
+  std::uint64_t signature_of(const PartialPlacement& state,
+                             const SymmetryGroups& groups) {
+    return canonical_signature(state, groups, signature_keys);
+  }
+  [[nodiscard]] std::vector<std::pair<double, dc::HostId>>&
+  children_scratch() {
+    return children;
+  }
+  /// The reference state is already self-contained; nothing to prepare.
+  void prepare_expand(const StateRef&) {}
+  void finish_stats(SearchStats&) const {}
+
+  std::priority_queue<Entry, std::vector<Entry>, PathOrder> open;
+  std::unordered_set<std::uint64_t> closed;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> signature_keys;
+  std::vector<std::pair<double, dc::HostId>> children;
+};
+
+/// Pooled memory model (SearchCore::kPooled): states live in the
+/// per-thread SearchArena, the open list is the packed-key OpenHeap, and
+/// the closed/dedup sets are epoch-stamped flat tables.  Steady-state
+/// (warm arena, capacities grown) the whole search loop allocates nothing.
+struct PooledCore {
+  using StateRef = const PartialPlacement*;
+
+  struct Entry {
+    StateRef parent = nullptr;
+    topo::NodeId node = topo::kInvalidNode;
+    dc::HostId host = dc::kInvalidHost;
+    double priority = 0.0;
+    bool exact = false;
+    std::uint32_t depth = 0;
+    std::uint64_t sequence = 0;
+  };
+
+  PooledCore(SearchArena& arena_in, bool sharp, const SearchConfig& config)
+      : arena(arena_in), open(arena_in.heap()) {
+    arena.begin_plan(sharp, open_reserve_hint(config));
+  }
+  ~PooledCore() { arena.end_plan(); }
+  PooledCore(const PooledCore&) = delete;
+  PooledCore& operator=(const PooledCore&) = delete;
+
+  void push(StateRef parent, topo::NodeId node, dc::HostId host,
+            double priority, bool exact, std::uint32_t depth,
+            std::uint64_t sequence) {
+    open.push(HeapEntry{pack_priority(priority), sequence, parent, node, host,
+                        depth, exact});
+  }
+  Entry pop() {
+    const HeapEntry top = open.pop();
+    return Entry{top.parent,  top.node,  top.host, unpack_priority(top.key),
+                 top.exact,   top.depth, top.sequence};
+  }
+  [[nodiscard]] std::size_t open_size() const { return open.size(); }
+  [[nodiscard]] bool open_empty() const { return open.empty(); }
+
+  bool closed_insert(std::uint64_t signature) {
+    return arena.closed().insert(signature);
+  }
+
+  StateRef make_root(const PartialPlacement& initial) {
+    PartialPlacement& root = arena.acquire(initial);
+    root.assign_pooled_flat(initial);
+    return &root;
+  }
+  StateRef materialize(const Entry& entry) {
+    PartialPlacement& state = arena.acquire(*entry.parent);
+    state.branch_from(*entry.parent);
+    state.place(entry.node, entry.host);
+    return &state;
+  }
+
+  void dedupe(const PartialPlacement& state,
+              std::vector<dc::HostId>& candidates) {
+    dedupe_equivalent_hosts_pooled(state, candidates, arena.dedupe_seen(),
+                                   arena.dedupe_kept());
+  }
+  std::uint64_t signature_of(const PartialPlacement& state,
+                             const SymmetryGroups& groups) {
+    return canonical_signature(state, groups, arena.signature_scratch());
+  }
+  [[nodiscard]] std::vector<std::pair<double, dc::HostId>>&
+  children_scratch() {
+    return arena.children_scratch();
+  }
+
+  /// Flatten a state that survived to expansion.  Most pops are
+  /// bound-pruned right after the O(delta) branch; only survivors pay the
+  /// flatten, and from then on every hot read during the candidate fan,
+  /// the EG re-bound, and the children's own branch_from hits a flat
+  /// table instead of walking a delta chain.
+  void prepare_expand(const StateRef& state) {
+    const_cast<PartialPlacement*>(state)->flatten_for_expand();
+  }
+
+  void finish_stats(SearchStats& stats) const {
+    static util::metrics::Counter& m_pooled_runs =
+        util::metrics::counter("search.pooled_runs");
+    static util::metrics::Counter& m_arena_reuse =
+        util::metrics::counter("search.arena_reuse");
+    static util::metrics::Summary& m_bytes =
+        util::metrics::summary("search.bytes_per_plan");
+    static util::metrics::Summary& m_states =
+        util::metrics::summary("search.arena_states");
+    stats.arena_states = arena.states_in_use();
+    stats.arena_bytes = arena.bytes_retained();
+    stats.arena_reused = arena.warm();
+    m_pooled_runs.inc();
+    if (stats.arena_reused) m_arena_reuse.inc();
+    m_bytes.observe(static_cast<double>(stats.arena_bytes));
+    m_states.observe(static_cast<double>(stats.arena_states));
+  }
+
+  SearchArena& arena;
+  OpenHeap& open;
+};
+
+/// The BA*/DBA* loop, shared by both memory models.  Every policy decision
+/// (bounds, pruning, EG re-bounding strides, DBA* load estimation) is
+/// identical; `Core` only decides how states, the open list, and the
+/// closed/dedup sets are stored.  Both instantiations therefore pop the
+/// same entries in the same order and apply the same floating-point
+/// operations — the bit-identical contract the differential suite checks.
+template <typename Core>
+AStarOutcome run_astar_impl(Core& core, PartialPlacement initial,
+                            const SearchConfig& config, bool deadline_bounded,
+                            util::ThreadPool* pool,
+                            const AstarMetrics& metrics) {
   util::WallTimer timer;
   const topo::AppTopology& topology = initial.topology();
 
@@ -288,7 +494,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   const auto run_eg = [&](const PartialPlacement& from) {
     const util::WallTimer eg_timer;
     ++stats.eg_reruns;
-    m_eg_reruns.inc();
+    metrics.eg_reruns.inc();
     GreedyOutcome eg = run_greedy(Algorithm::kEg, from, greedy_order, pool,
                                   config.use_estimate_context,
                                   config.use_candidate_index);
@@ -296,7 +502,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     stats.heuristic_calls += eg.stats.heuristic_calls;
     if (eg.feasible) incumbent.offer(std::move(eg.state));
     last_eg_seconds = eg_timer.elapsed_seconds();
-    m_eg_seconds.observe(last_eg_seconds);
+    metrics.eg_seconds.observe(last_eg_seconds);
   };
   run_eg(initial);
   // Re-bounding cadence: a full EG completion costs seconds at paper scale,
@@ -323,14 +529,11 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   stats.effective_max_open_paths = config.max_open_paths;
   stats.effective_beam_width = sharp_ordering ? config.dba_beam_width : 0;
 
-  std::priority_queue<PathEntry, std::vector<PathEntry>, PathOrder> open(
-      PathOrder{sharp_ordering});
-  std::unordered_set<std::uint64_t> closed;
   std::uint64_t sequence = 0;
-  open.push({nullptr, topo::kInvalidNode, dc::kInvalidHost,
-             initial.utility_bound(), !sharp_ordering, 0, sequence++});
+  core.push(typename Core::StateRef{}, topo::kInvalidNode, dc::kInvalidHost,
+            initial.utility_bound(), !sharp_ordering, 0, sequence++);
   ++stats.paths_generated;
-  m_generated.inc();
+  metrics.generated.inc();
 
   // DBA* machinery.
   util::Rng rng(config.seed);
@@ -350,6 +553,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     outcome.failure = std::move(why);
     if (incumbent.state) outcome.state = std::move(*incumbent.state);
     stats.runtime_seconds = timer.elapsed_seconds();
+    core.finish_stats(stats);
     return outcome;
   };
 
@@ -357,16 +561,15 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
   EstimateScratch estimate_scratch;  // reused across expansions
   CandidateBuffer candidate_buf;     // reused across expansions
 
-  while (!open.empty()) {
+  while (!core.open_empty()) {
     if (deadline_bounded && deadline.expired()) {
       return finish(incumbent.state.has_value(),
                     incumbent.state ? "" : "deadline expired with no solution");
     }
 
     stats.open_queue_peak =
-        std::max<std::uint64_t>(stats.open_queue_peak, open.size());
-    PathEntry entry = open.top();
-    open.pop();
+        std::max<std::uint64_t>(stats.open_queue_peak, core.open_size());
+    typename Core::Entry entry = core.pop();
     ++pops_total;
 
     // Algorithm 2 line 6: the least-u path cannot beat the incumbent.
@@ -378,15 +581,13 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
 
     // Materialize the state: clone parent + apply the decision, unless this
     // is the root or a re-queued already-materialized entry.
-    std::shared_ptr<const PartialPlacement> state;
-    if (entry.parent == nullptr) {
-      state = std::make_shared<PartialPlacement>(initial);
+    typename Core::StateRef state;
+    if (!entry.parent) {
+      state = core.make_root(initial);
     } else if (entry.node == topo::kInvalidNode) {
       state = entry.parent;  // re-queued exact entry: state IS the parent
     } else {
-      auto materialized = std::make_shared<PartialPlacement>(*entry.parent);
-      materialized->place(entry.node, entry.host);
-      state = std::move(materialized);
+      state = core.materialize(entry);
     }
 
     // Pop-time bound check (line 11 semantics, applied lazily): discard a
@@ -394,7 +595,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     const double exact_bound = state->utility_bound();
     if (exact_bound >= incumbent.utility - kEps) {
       ++stats.paths_pruned_bound;
-      m_pruned_bound.inc();
+      metrics.pruned_bound.inc();
       open_by_depth[entry.depth] -= 1.0;
       continue;
     }
@@ -407,15 +608,10 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     // shrink the way the generation-time proxy assumed), so the path is
     // simply expanded with the priority it was popped at.
     if (!sharp_ordering && !entry.exact) {
-      const double exact = exact_bound;
-      if (exact > entry.priority + kEps) {
-        entry.priority = exact;
-        entry.exact = true;
+      if (exact_bound > entry.priority + kEps) {
         // Keep the materialized state: a later pop reuses it directly.
-        entry.parent = state;
-        entry.node = topo::kInvalidNode;
-        entry.host = dc::kInvalidHost;
-        open.push(entry);
+        core.push(state, topo::kInvalidNode, dc::kInvalidHost, exact_bound,
+                  true, entry.depth, entry.sequence);
         continue;
       }
     }
@@ -431,12 +627,19 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
     }
 
     // Closed-queue dedup (line 10, via canonical signatures).
-    const std::uint64_t signature = canonical_signature(*state, groups);
-    if (!closed.insert(signature).second) {
+    const std::uint64_t signature = core.signature_of(*state, groups);
+    if (!core.closed_insert(signature)) {
       ++stats.paths_deduped;
-      m_deduped.inc();
+      metrics.deduped.inc();
       continue;
     }
+
+    // This state will be expanded: it becomes the parent the whole child
+    // fan (and possibly an EG re-bound) reads from, so the pooled core
+    // flattens its delta chain here — once per expansion instead of once
+    // per pop.  Reads return identical values before and after, so the
+    // search stays bit-identical to the reference core.
+    core.prepare_expand(state);
 
     // Re-bound with EG (lines 15-18; u_upper tightens as the remaining node
     // set shrinks).  This is where most of DBA*'s quality comes from: a raw
@@ -476,25 +679,24 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
       std::erase_if(candidates,
                     [floor_host](dc::HostId h) { return h < floor_host; });
     }
-    dedupe_equivalent_hosts(*state, candidates);
+    core.dedupe(*state, candidates);
     const std::uint64_t symmetry_dropped = fan_before - candidates.size();
     stats.symmetry_pruned += symmetry_dropped;
-    m_symmetry.add(symmetry_dropped);
+    metrics.symmetry.add(symmetry_dropped);
 
     ++stats.paths_expanded;
-    m_expanded.inc();
-    m_open_size.observe(static_cast<double>(open.size()));
+    metrics.expanded.inc();
+    metrics.open_size.observe(static_cast<double>(core.open_size()));
     std::uint64_t inserted = 0;
-    const std::shared_ptr<const PartialPlacement> parent = state;
-    struct Child {
-      double order;
-      dc::HostId host;
-      bool operator<(const Child& o) const noexcept {
-        return order < o.order || (order == o.order && host < o.host);
-      }
-    };
-    std::vector<Child> children;
-    children.reserve(candidates.size());
+    const typename Core::StateRef parent = state;
+    // Children are (order_utility, host) pairs; the pair's lexicographic
+    // order matches the old (order, host) comparator exactly.
+    std::vector<std::pair<double, dc::HostId>>& children =
+        core.children_scratch();
+    children.clear();
+    if (children.capacity() < candidates.size()) {
+      children.reserve(candidates.size());
+    }
     // DBA* ranks siblings with EG's candidate estimate (GetHeuristic of
     // Algorithm 1): the dive's first choice at every level is then exactly
     // the host EG would pick, and backtracking alternatives are the
@@ -514,7 +716,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
           parent->objective().utility(score.ubw + score.bound_rem, score.uc);
       if (bound_utility >= incumbent.utility - kEps) {  // line 11 bounding
         ++stats.paths_pruned_bound;
-        m_pruned_bound.inc();
+        metrics.pruned_bound.inc();
         continue;
       }
       double order_utility = bound_utility;
@@ -539,7 +741,7 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
                          static_cast<double>(order.size());
         if (rng.chance(prune_probability(prune_range, s))) {
           ++stats.paths_pruned_random;
-          m_pruned_random.inc();
+          metrics.pruned_random.inc();
           continue;
         }
       }
@@ -555,18 +757,18 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
           children.end());
       stats.paths_pruned_random +=
           children.size() - config.dba_beam_width;
-      m_pruned_random.add(children.size() - config.dba_beam_width);
+      metrics.pruned_random.add(children.size() - config.dba_beam_width);
       children.resize(config.dba_beam_width);
       std::sort(children.begin(), children.end());
     }
-    for (const auto& child : children) {
-      open.push({parent, node, child.host, child.order, false,
-                 entry.depth + 1, sequence++});
+    for (const auto& [order_utility, child_host] : children) {
+      core.push(parent, node, child_host, order_utility, false,
+                entry.depth + 1, sequence++);
       open_by_depth[entry.depth + 1] += 1.0;
       ++stats.paths_generated;
       ++inserted;
     }
-    m_generated.add(inserted);
+    metrics.generated.add(inserted);
     avg_branching = 0.9 * avg_branching + 0.1 * static_cast<double>(inserted);
     // Average pop cost over every pop so far (pruned pops are far cheaper
     // than expansions; an expansion-only average overestimates the load by
@@ -575,11 +777,22 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
         std::max(1e-7, (timer.elapsed_seconds() - eg_total_seconds) /
                            static_cast<double>(pops_total));
 
-    if (config.max_open_paths != 0 && open.size() > config.max_open_paths) {
+    if (config.max_open_paths != 0 && core.open_size() > config.max_open_paths) {
       stats.truncated = true;
       stats.hit_open_limit = true;
       return finish(incumbent.state.has_value(),
                     incumbent.state ? "" : "open-queue limit hit; no solution");
+    }
+
+    // Deterministic expansion budget (SearchConfig::max_expansions): caps
+    // the work directly, independent of how pruning shapes the frontier.
+    // Deliberately does NOT set hit_open_limit — the kAuto controller must
+    // not respond to a fixed work cap by widening the open-queue budget.
+    if (config.max_expansions != 0 &&
+        stats.paths_expanded >= config.max_expansions) {
+      stats.truncated = true;
+      return finish(incumbent.state.has_value(),
+                    incumbent.state ? "" : "expansion budget hit; no solution");
     }
 
     // DBA* load estimation at the half-deadline checkpoints.
@@ -613,6 +826,54 @@ AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
 
   return finish(incumbent.state.has_value(),
                 incumbent.state ? "" : "no feasible placement exists");
+}
+
+}  // namespace
+
+AStarOutcome run_astar(PartialPlacement initial, const SearchConfig& config,
+                       bool deadline_bounded, util::ThreadPool* pool) {
+  static util::metrics::Counter& m_runs = util::metrics::counter("astar.runs");
+  static util::metrics::Counter& m_expanded =
+      util::metrics::counter("astar.nodes_expanded");
+  static util::metrics::Counter& m_generated =
+      util::metrics::counter("astar.paths_generated");
+  static util::metrics::Counter& m_pruned_bound =
+      util::metrics::counter("astar.paths_pruned_bound");
+  static util::metrics::Counter& m_pruned_random =
+      util::metrics::counter("astar.paths_pruned_random");
+  static util::metrics::Counter& m_deduped =
+      util::metrics::counter("astar.paths_deduped");
+  static util::metrics::Counter& m_symmetry =
+      util::metrics::counter("astar.symmetry_candidates_pruned");
+  static util::metrics::Counter& m_eg_reruns =
+      util::metrics::counter("astar.eg_reruns");
+  static util::metrics::Summary& m_open_size =
+      util::metrics::summary("astar.open_queue_size");
+  static util::metrics::Summary& m_run_seconds =
+      util::metrics::summary("astar.run_seconds");
+  static util::metrics::Summary& m_eg_seconds =
+      util::metrics::summary("astar.eg_rerun_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_run_seconds);
+  m_runs.inc();
+
+  const AstarMetrics metrics{m_expanded,      m_generated, m_pruned_bound,
+                             m_pruned_random, m_deduped,   m_symmetry,
+                             m_eg_reruns,     m_open_size, m_eg_seconds};
+  const bool sharp_ordering =
+      deadline_bounded || config.greedy_estimate_in_astar;
+
+  // The pooled core requires the thread's arena; fall back to the reference
+  // containers in the (not expected) case of a re-entrant search on the
+  // same thread.
+  if (config.search_core == SearchCore::kPooled &&
+      !thread_search_arena().active()) {
+    PooledCore core(thread_search_arena(), sharp_ordering, config);
+    return run_astar_impl(core, std::move(initial), config, deadline_bounded,
+                          pool, metrics);
+  }
+  ReferenceCore core(sharp_ordering, config);
+  return run_astar_impl(core, std::move(initial), config, deadline_bounded,
+                        pool, metrics);
 }
 
 }  // namespace ostro::core

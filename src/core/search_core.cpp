@@ -1,0 +1,61 @@
+#include "core/search_core.h"
+
+#include <new>
+
+namespace ostro::core {
+
+SearchArena::~SearchArena() {
+  // Slab storage is owned by the ChunkArena; only the destructors must run.
+  for (PartialPlacement* state : states_) state->~PartialPlacement();
+}
+
+void SearchArena::begin_plan(bool depth_first, std::size_t open_reserve) {
+  warm_ = plans_ > 0;
+  active_ = true;
+  in_use_ = 0;
+  heap_.configure(depth_first, open_reserve);
+  heap_.clear();
+  closed_.clear();
+  dedupe_seen_.clear();
+}
+
+void SearchArena::end_plan() noexcept {
+  // States stay constructed with their capacities; the next plan rebuilds
+  // them via assign_pooled_flat/branch_from.
+  in_use_ = 0;
+  active_ = false;
+  ++plans_;
+}
+
+PartialPlacement& SearchArena::acquire(const PartialPlacement& proto) {
+  if (in_use_ < states_.size()) return *states_[in_use_++];
+  void* slot = slabs_.allocate(sizeof(PartialPlacement),
+                               alignof(PartialPlacement));
+  PartialPlacement* state = new (slot)
+      PartialPlacement(proto.topology(), proto.base(), proto.objective());
+  states_.push_back(state);
+  ++in_use_;
+  return *state;
+}
+
+std::size_t SearchArena::bytes_retained() const noexcept {
+  std::size_t bytes = slabs_.bytes_reserved() + heap_.capacity_bytes() +
+                      closed_.capacity_bytes() +
+                      dedupe_seen_.capacity_bytes() +
+                      dedupe_kept_.capacity() * sizeof(dc::HostId) +
+                      signature_keys_.capacity() *
+                          sizeof(std::pair<std::uint64_t, std::uint64_t>) +
+                      children_.capacity() *
+                          sizeof(std::pair<double, dc::HostId>);
+  for (const PartialPlacement* state : states_) {
+    bytes += state->pooled_bytes() - sizeof(PartialPlacement);
+  }
+  return bytes;
+}
+
+SearchArena& thread_search_arena() {
+  thread_local SearchArena arena;
+  return arena;
+}
+
+}  // namespace ostro::core

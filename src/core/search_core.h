@@ -1,0 +1,217 @@
+// Pooled memory model of the BA*/DBA* inner loop (SearchCore::kPooled;
+// DESIGN.md section 11): a per-thread SearchArena that owns every search
+// state and scratch structure and is reset — never freed — between plans,
+// plus a preallocated 4-ary open heap keyed by the packed f-cost.  Both are
+// bit-identical to the reference containers: the heap implements the exact
+// strict total order of the reference comparator (entries carry unique
+// sequence numbers, so the popped minimum is unique), and arena states
+// replay the reference floating-point operation sequence through
+// PartialPlacement's copy-on-write chain representation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/partial.h"
+#include "util/arena.h"
+
+namespace ostro::core {
+
+/// Packs a non-NaN double into a uint64 whose unsigned order equals the
+/// double's order exactly (the standard sign-flip trick), with -0.0
+/// normalized to +0.0 first: the two compare equal as doubles, so they must
+/// pack to the same key or the heap's tiebreak would diverge from the
+/// reference comparator.
+[[nodiscard]] inline std::uint64_t pack_priority(double priority) noexcept {
+  if (priority == 0.0) priority = 0.0;  // collapse -0.0 onto +0.0
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof priority);
+  std::memcpy(&bits, &priority, sizeof bits);
+  return (bits & 0x8000000000000000ULL) ? ~bits
+                                        : bits ^ 0x8000000000000000ULL;
+}
+
+/// Exact inverse of pack_priority (up to the -0.0 normalization).
+[[nodiscard]] inline double unpack_priority(std::uint64_t key) noexcept {
+  const std::uint64_t bits =
+      (key & 0x8000000000000000ULL) ? key ^ 0x8000000000000000ULL : ~key;
+  double priority;
+  std::memcpy(&priority, &bits, sizeof priority);
+  return priority;
+}
+
+/// One open-list entry of the pooled core: the lazy child of the reference
+/// PathEntry with the shared_ptr replaced by a raw arena pointer and the
+/// priority replaced by its packed key.  Stored by value in the heap array.
+struct HeapEntry {
+  std::uint64_t key = 0;       ///< pack_priority(priority)
+  std::uint64_t sequence = 0;  ///< unique insertion order; strict tiebreak
+  const PartialPlacement* parent = nullptr;  ///< arena-owned; null = root
+  topo::NodeId node = topo::kInvalidNode;
+  dc::HostId host = dc::kInvalidHost;
+  std::uint32_t depth = 0;
+  bool exact = false;
+};
+
+/// Preallocated 4-ary min-heap over HeapEntry implementing the reference
+/// PathOrder as a strict total order ("a pops before b"):
+///   1. depth-first mode: deeper first;
+///   2. smaller packed key (= smaller priority) first;
+///   3. deeper first;
+///   4. smaller sequence first.
+/// Sequence numbers are unique among queued entries (a re-queued exact
+/// entry reuses its sequence, but only after the original was popped), so
+/// the minimum is unique and any heap over this order pops the identical
+/// sequence of entries — which is what keeps kPooled bit-identical to the
+/// reference std::priority_queue.
+class OpenHeap {
+ public:
+  void configure(bool depth_first, std::size_t reserve_hint) {
+    depth_first_ = depth_first;
+    if (entries_.capacity() < reserve_hint) entries_.reserve(reserve_hint);
+  }
+
+  void push(const HeapEntry& entry) {
+    entries_.push_back(entry);
+    sift_up(entries_.size() - 1);
+  }
+
+  HeapEntry pop() {
+    HeapEntry top = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    return top;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return entries_.capacity() * sizeof(HeapEntry);
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  [[nodiscard]] bool before(const HeapEntry& a,
+                            const HeapEntry& b) const noexcept {
+    if (depth_first_ && a.depth != b.depth) return a.depth > b.depth;
+    if (a.key != b.key) return a.key < b.key;
+    if (a.depth != b.depth) return a.depth > b.depth;
+    return a.sequence < b.sequence;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    const HeapEntry moving = entries_[i];
+    while (i > 0) {
+      const std::size_t up = (i - 1) / kArity;
+      if (!before(moving, entries_[up])) break;
+      entries_[i] = entries_[up];
+      i = up;
+    }
+    entries_[i] = moving;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const HeapEntry moving = entries_[i];
+    const std::size_t n = entries_.size();
+    while (true) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(entries_[c], entries_[best])) best = c;
+      }
+      if (!before(entries_[best], moving)) break;
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = moving;
+  }
+
+  std::vector<HeapEntry> entries_;
+  bool depth_first_ = false;
+};
+
+/// Per-thread memory pool of one search: every PartialPlacement the loop
+/// materializes, the open heap, the closed set, and the per-expansion
+/// scratch.  end_plan() recycles all of it — states keep their container
+/// capacities and slab storage — so the next plan on the same thread runs
+/// with zero steady-state allocations in the search core.
+class SearchArena {
+ public:
+  SearchArena() = default;
+  ~SearchArena();
+  SearchArena(const SearchArena&) = delete;
+  SearchArena& operator=(const SearchArena&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Starts a plan: configures the heap order, clears the recycled
+  /// structures, and records whether warm memory is being reused.
+  void begin_plan(bool depth_first, std::size_t open_reserve);
+  /// Ends a plan: returns every state to the free list (objects stay
+  /// constructed, capacities retained).
+  void end_plan() noexcept;
+
+  /// Returns a recycled (or, during warm-up, freshly constructed) state;
+  /// the caller rebuilds it via assign_pooled_flat/branch_from.  `proto`
+  /// supplies the constructor arguments for pool growth only.
+  PartialPlacement& acquire(const PartialPlacement& proto);
+
+  [[nodiscard]] OpenHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] util::StampedSet64& closed() noexcept { return closed_; }
+  [[nodiscard]] util::StampedSet64& dedupe_seen() noexcept {
+    return dedupe_seen_;
+  }
+  [[nodiscard]] std::vector<dc::HostId>& dedupe_kept() noexcept {
+    return dedupe_kept_;
+  }
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+  signature_scratch() noexcept {
+    return signature_keys_;
+  }
+  [[nodiscard]] std::vector<std::pair<double, dc::HostId>>&
+  children_scratch() noexcept {
+    return children_;
+  }
+
+  /// States handed out since begin_plan.
+  [[nodiscard]] std::uint64_t states_in_use() const noexcept {
+    return in_use_;
+  }
+  /// Plans completed (end_plan calls) over the arena's lifetime.
+  [[nodiscard]] std::uint64_t plans_served() const noexcept { return plans_; }
+  /// True when begin_plan found warm structures from a previous plan.
+  [[nodiscard]] bool warm() const noexcept { return warm_; }
+  /// Bytes retained across plans: pooled states (slab storage + container
+  /// capacities), heap, closed set, and scratch.
+  [[nodiscard]] std::size_t bytes_retained() const noexcept;
+
+ private:
+  util::ChunkArena slabs_;  // raw storage of the pooled states
+  std::vector<PartialPlacement*> states_;
+  std::uint64_t in_use_ = 0;
+  OpenHeap heap_;
+  util::StampedSet64 closed_;
+  util::StampedSet64 dedupe_seen_;
+  std::vector<dc::HostId> dedupe_kept_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> signature_keys_;
+  std::vector<std::pair<double, dc::HostId>> children_;
+  bool active_ = false;
+  bool warm_ = false;
+  std::uint64_t plans_ = 0;
+};
+
+/// The calling thread's arena.  One arena per thread keeps concurrent
+/// PlacementService/StreamingService plans fully isolated (no shared state,
+/// nothing for TSan to find) while a long-lived worker reuses warm memory
+/// across every request it serves.
+[[nodiscard]] SearchArena& thread_search_arena();
+
+}  // namespace ostro::core

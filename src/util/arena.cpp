@@ -1,0 +1,103 @@
+#include "util/arena.h"
+
+namespace ostro::util {
+
+void* ChunkArena::allocate(std::size_t bytes, std::size_t align) {
+  for (; current_ < chunks_.size(); ++current_) {
+    Chunk& chunk = chunks_[current_];
+    const std::size_t aligned = (chunk.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= chunk.size) {
+      bytes_used_ += (aligned - chunk.used) + bytes;
+      chunk.used = aligned + bytes;
+      return chunk.data.get() + aligned;
+    }
+  }
+  // A request larger than the standard slab gets a slab of its own; the
+  // alignment slack is covered because operator new[] is already aligned to
+  // std::max_align_t and `align` never exceeds it for the pooled types.
+  const std::size_t size = std::max(chunk_bytes_, bytes + align);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  Chunk& fresh = chunks_.back();
+  const std::uintptr_t base =
+      reinterpret_cast<std::uintptr_t>(fresh.data.get());
+  const std::size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+  fresh.used = aligned + bytes;
+  bytes_used_ += fresh.used;
+  return fresh.data.get() + aligned;
+}
+
+void ChunkArena::reset() noexcept {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  current_ = 0;
+  bytes_used_ = 0;
+}
+
+bool StampedSet64::insert(std::uint64_t key) {
+  if (mask_ == 0 || size_ * 2 >= keys_.size()) {
+    grow(keys_.empty() ? 1024 : keys_.size() * 2);
+  }
+  std::size_t i = hash_mix64(key) & mask_;
+  while (true) {
+    if (epochs_[i] != epoch_) {
+      keys_[i] = key;
+      epochs_[i] = epoch_;
+      ++size_;
+      return true;
+    }
+    if (keys_[i] == key) return false;
+    i = (i + 1) & mask_;
+  }
+}
+
+bool StampedSet64::contains(std::uint64_t key) const noexcept {
+  if (mask_ == 0) return false;
+  std::size_t i = hash_mix64(key) & mask_;
+  while (true) {
+    if (epochs_[i] != epoch_) return false;
+    if (keys_[i] == key) return true;
+    i = (i + 1) & mask_;
+  }
+}
+
+void StampedSet64::clear() noexcept {
+  if (++epoch_ == 0) {
+    // Epoch wrapped: every stale stamp would read as current.  Scrub once
+    // per ~4 billion clears and restart at epoch 1.
+    std::fill(epochs_.begin(), epochs_.end(), 0U);
+    epoch_ = 1;
+  }
+  size_ = 0;
+}
+
+void StampedSet64::reserve(std::size_t expected) {
+  std::size_t want = 1024;
+  while (want < expected * 2) want *= 2;
+  if (want > keys_.size()) grow(want);
+}
+
+void StampedSet64::grow(std::size_t min_slots) {
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+  const std::uint32_t old_epoch = epoch_;
+  keys_.assign(min_slots, 0);
+  epochs_.assign(min_slots, 0);
+  mask_ = min_slots - 1;
+  epoch_ = 1;
+  size_ = 0;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_epochs[i] == old_epoch) insert(old_keys[i]);
+  }
+}
+
+void BitSet::resize(std::size_t bits) { words_.resize((bits + 63) / 64, 0); }
+
+void BitSet::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+}  // namespace ostro::util

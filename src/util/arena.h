@@ -1,0 +1,239 @@
+// Allocation-free building blocks for the pooled search core (DESIGN.md
+// section 11): a chunked bump arena in the spirit of warthog's cpool, flat
+// open-addressing hash tables with power-of-two probing, an epoch-stamped
+// set whose clear() is O(1), and a bit set.  All of them are reset — not
+// freed — between uses, so a long-lived search thread reaches a steady
+// state in which the hot loop performs zero heap allocations.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ostro::util {
+
+/// Mixes a 64-bit key into a well-distributed hash (stateless splitmix64
+/// finalizer).  Shared by the flat tables below so probe sequences stay
+/// consistent across them.
+[[nodiscard]] constexpr std::uint64_t hash_mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Chunked bump allocator: memory is carved from geometrically sized slabs
+/// and never returned individually.  reset() rewinds the bump pointers and
+/// keeps every slab, so a warm arena serves subsequent plans without
+/// touching the system allocator.  Objects placed in the arena are NOT
+/// destroyed by reset()/the destructor — callers that store non-trivial
+/// types must run destructors themselves (SearchArena does).
+class ChunkArena {
+ public:
+  explicit ChunkArena(std::size_t chunk_bytes = 64 * 1024) noexcept
+      : chunk_bytes_(chunk_bytes) {}
+
+  /// Returns `bytes` of storage aligned to `align` (power of two).
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewinds to empty while keeping every slab for reuse.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return bytes_used_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // first chunk with free space
+  std::size_t chunk_bytes_;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+/// Open-addressing set of 64-bit keys with O(1) clear: each slot carries the
+/// epoch in which it was written, and clear() just bumps the epoch.  Used
+/// for the closed set (canonical signatures) and the per-expansion
+/// host-equivalence dedup, both of which would otherwise pay a rehash or a
+/// full memset per use.
+class StampedSet64 {
+ public:
+  /// Inserts `key`; returns true when it was not present this epoch.
+  bool insert(std::uint64_t key);
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept;
+  void clear() noexcept;
+  void reserve(std::size_t expected);
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           epochs_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  void grow(std::size_t min_slots);
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> epochs_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;  // slots - 1; 0 means "no table yet"
+};
+
+/// Fixed-universe bit set (hosts, nodes).  clear() is a word-sized memset
+/// over capacity reserved once from the universe size.
+class BitSet {
+ public:
+  void resize(std::size_t bits);
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+  void clear() noexcept;
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Open-addressing map from 32-bit keys to V with linear probing over a
+/// power-of-two table.  Every slot packs (epoch << 32 | key) into one
+/// 64-bit word: a probe is a single load-and-compare, and — like
+/// StampedSet64 — clear() just bumps the epoch in O(1), with a slot whose
+/// epoch half is stale reading as empty.  Per-state tables can therefore
+/// be cleared and rebuilt (the COW flatten does this once per expansion)
+/// without an O(capacity) sweep, and a dense slot index makes iteration
+/// O(size) instead of O(capacity).  All users map 32-bit ids (hosts,
+/// links, racks, nodes); keys >= 2^32 are rejected by assert.
+/// reserve() sizes the table once from a known universe bound so
+/// steady-state inserts never rehash.
+template <typename V>
+class FlatMap64 {
+ public:
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    if (mask_ == 0) return nullptr;
+    const std::uint64_t target = tag(key);
+    std::size_t i = hash_mix64(key) & mask_;
+    while (true) {
+      const std::uint64_t word = words_[i];
+      if (word == target) return &vals_[i];
+      if ((word >> 32) != epoch_) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Returns the slot for `key`, default-constructing it when absent;
+  /// `inserted` reports which happened.
+  V& get_or_insert(std::uint64_t key, bool& inserted) {
+    if (size_ * 2 >= slots()) grow(slots() == 0 ? 16 : slots() * 2);
+    const std::uint64_t target = tag(key);
+    std::size_t i = hash_mix64(key) & mask_;
+    while (true) {
+      const std::uint64_t word = words_[i];
+      if (word == target) {
+        inserted = false;
+        return vals_[i];
+      }
+      if ((word >> 32) != epoch_) {
+        words_[i] = target;
+        vals_[i] = V{};
+        dense_.push_back(static_cast<std::uint32_t>(i));
+        ++size_;
+        inserted = true;
+        return vals_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts (key, value) only when the key is absent; returns whether the
+  /// insert happened.  This is the newest-wins primitive of the COW flatten
+  /// walk: levels are visited newest first, so the first write sticks.
+  bool insert_if_absent(std::uint64_t key, const V& value) {
+    bool inserted = false;
+    V& slot = get_or_insert(key, inserted);
+    if (inserted) slot = value;
+    return inserted;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const std::uint32_t i : dense_) {
+      f(words_[i] & 0xffffffffULL, vals_[i]);
+    }
+  }
+
+  void clear() noexcept {
+    if (++epoch_ == 0) {
+      // Epoch wrapped: every stale stamp would read as current.  Scrub once
+      // per ~4 billion clears and restart at epoch 1.
+      std::fill(words_.begin(), words_.end(), 0ULL);
+      epoch_ = 1;
+    }
+    dense_.clear();
+    size_ = 0;
+  }
+
+  /// Sizes the table for `expected` entries at <= 50% load.
+  void reserve(std::size_t expected) {
+    std::size_t want = 16;
+    while (want < expected * 2) want *= 2;
+    if (want > slots()) grow(want);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t) +
+           vals_.capacity() * sizeof(V) +
+           dense_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t slots() const noexcept { return words_.size(); }
+
+  /// (epoch << 32 | key): the one-word occupied-this-epoch slot encoding.
+  [[nodiscard]] std::uint64_t tag(std::uint64_t key) const noexcept {
+    assert(key < (1ULL << 32) && "FlatMap64 keys must be 32-bit ids");
+    return (static_cast<std::uint64_t>(epoch_) << 32) | key;
+  }
+
+  void grow(std::size_t new_slots) {
+    std::vector<std::uint64_t> old_words = std::move(words_);
+    std::vector<V> old_vals = std::move(vals_);
+    std::vector<std::uint32_t> old_dense = std::move(dense_);
+    words_.assign(new_slots, 0ULL);
+    vals_.assign(new_slots, V{});
+    dense_.clear();
+    dense_.reserve(new_slots / 2 + 1);
+    epoch_ = 1;
+    mask_ = new_slots - 1;
+    size_ = 0;
+    for (const std::uint32_t i : old_dense) {
+      bool inserted = false;
+      get_or_insert(old_words[i] & 0xffffffffULL, inserted) = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::vector<V> vals_;
+  std::vector<std::uint32_t> dense_;
+  std::uint32_t epoch_ = 1;  // slot epochs start at 1; 0 = never written
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ostro::util

@@ -161,6 +161,36 @@ TEST(BaStarTest, OpenQueueLimitFallsBackToIncumbent) {
       verify_placement(occupancy, app, outcome.state.assignment()).empty());
 }
 
+TEST(BaStarTest, ExpansionBudgetTruncatesDeterministically) {
+  const auto datacenter = small_dc(2, 3);
+  const dc::Occupancy occupancy(datacenter);
+  util::Rng rng(11);
+  const auto app = random_app(rng, 6);
+  SearchConfig config;
+  config.max_expansions = 2;
+  const Objective objective(app, datacenter, config);
+  const AStarOutcome outcome = run_astar(
+      initial_state(app, occupancy, objective), config, false, nullptr);
+  // The EG incumbent survives the truncation, and the budget is exact.
+  ASSERT_TRUE(outcome.feasible);
+  EXPECT_TRUE(
+      verify_placement(occupancy, app, outcome.state.assignment()).empty());
+  EXPECT_EQ(outcome.stats.paths_expanded, 2u);
+  EXPECT_TRUE(outcome.stats.truncated);
+  // The budget is not a valve fire: the kAuto controller must not treat it
+  // as a widen-retry signal.
+  EXPECT_FALSE(outcome.stats.hit_open_limit);
+
+  // Both memory models stop at the same point of the same search.
+  SearchConfig reference_config = config;
+  reference_config.search_core = SearchCore::kReference;
+  const AStarOutcome reference = run_astar(
+      initial_state(app, occupancy, objective), reference_config, false,
+      nullptr);
+  EXPECT_EQ(reference.state.assignment(), outcome.state.assignment());
+  EXPECT_EQ(reference.stats.paths_expanded, outcome.stats.paths_expanded);
+}
+
 TEST(BaStarTest, GreedyEstimateModeStillValid) {
   util::Rng rng(999);
   const auto datacenter = small_dc(2, 2);

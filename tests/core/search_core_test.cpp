@@ -1,0 +1,422 @@
+// Unit tests for the pooled search-core primitives (DESIGN.md section 11):
+// the packed f-cost key, the preallocated OpenHeap (fuzzed against
+// std::priority_queue over the reference comparator), the epoch-stamped and
+// open-addressing tables, the chunked slab arena, and PartialPlacement's
+// copy-on-write branch_from (fuzzed bitwise against copy + place).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/partial.h"
+#include "core/search_core.h"
+#include "helpers.h"
+#include "util/arena.h"
+#include "util/rng.h"
+
+namespace ostro::core {
+namespace {
+
+using ostro::testing::random_app;
+using ostro::testing::small_dc;
+using ostro::testing::two_site_dc;
+
+// ---------------------------------------------------------------------------
+// pack_priority: unsigned order over keys == double order over priorities.
+
+TEST(PackPriorityTest, OrderMatchesDoubleOrder) {
+  const std::vector<double> values = {
+      -std::numeric_limits<double>::infinity(),
+      -1e300,
+      -1.0,
+      -1e-300,
+      -std::numeric_limits<double>::denorm_min(),
+      -0.0,
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      1e-300,
+      0.5,
+      1.0,
+      1.0 + std::numeric_limits<double>::epsilon(),
+      1e300,
+      std::numeric_limits<double>::infinity(),
+  };
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const std::uint64_t a = pack_priority(values[i]);
+      const std::uint64_t b = pack_priority(values[j]);
+      EXPECT_EQ(values[i] < values[j], a < b) << values[i] << " vs " << values[j];
+      EXPECT_EQ(values[i] == values[j], a == b)
+          << values[i] << " vs " << values[j];
+    }
+  }
+}
+
+TEST(PackPriorityTest, NegativeZeroCollapsesOntoPositiveZero) {
+  // -0.0 == +0.0 as doubles, so they must produce the same key or the
+  // heap's key tiebreak would diverge from the reference comparator.
+  EXPECT_EQ(pack_priority(-0.0), pack_priority(0.0));
+  EXPECT_EQ(unpack_priority(pack_priority(-0.0)), 0.0);
+}
+
+TEST(PackPriorityTest, RoundTripsExactly) {
+  util::Rng rng(101);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = (rng.uniform01() - 0.5) * std::pow(10.0, rng.uniform_int(-30, 30));
+    const double back = unpack_priority(pack_priority(v));
+    EXPECT_EQ(back, v);
+  }
+  EXPECT_EQ(unpack_priority(pack_priority(1e308)), 1e308);
+  EXPECT_TRUE(std::isinf(
+      unpack_priority(pack_priority(std::numeric_limits<double>::infinity()))));
+}
+
+// ---------------------------------------------------------------------------
+// OpenHeap vs std::priority_queue over the reference comparator.
+
+struct RefEntry {
+  double priority = 0.0;
+  std::uint32_t depth = 0;
+  std::uint64_t sequence = 0;
+};
+
+struct RefOrder {
+  bool depth_first = false;
+  bool operator()(const RefEntry& a, const RefEntry& b) const noexcept {
+    if (depth_first && a.depth != b.depth) return a.depth < b.depth;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.sequence > b.sequence;
+  }
+};
+
+void fuzz_heap_against_priority_queue(bool depth_first, std::uint64_t seed) {
+  util::Rng rng(seed);
+  OpenHeap heap;
+  heap.configure(depth_first, 64);
+  std::priority_queue<RefEntry, std::vector<RefEntry>, RefOrder> reference(
+      RefOrder{depth_first});
+  std::uint64_t sequence = 0;
+  for (int round = 0; round < 5000; ++round) {
+    const bool push = reference.empty() || rng.uniform01() < 0.55;
+    if (push) {
+      RefEntry entry;
+      // Coarse priorities force frequent ties so the depth/sequence
+      // tiebreaks actually run.
+      entry.priority = static_cast<double>(rng.uniform_int(0, 8)) * 0.25;
+      if (rng.uniform01() < 0.1) entry.priority = 0.0;
+      entry.depth = static_cast<std::uint32_t>(rng.uniform_int(0, 5));
+      entry.sequence = sequence++;
+      reference.push(entry);
+      heap.push(HeapEntry{pack_priority(entry.priority), entry.sequence,
+                          nullptr, topo::kInvalidNode, dc::kInvalidHost,
+                          entry.depth, false});
+    } else {
+      const RefEntry expected = reference.top();
+      reference.pop();
+      const HeapEntry got = heap.pop();
+      ASSERT_EQ(got.sequence, expected.sequence) << "round " << round;
+      ASSERT_EQ(got.depth, expected.depth) << "round " << round;
+      ASSERT_EQ(unpack_priority(got.key), expected.priority)
+          << "round " << round;
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+  }
+  while (!reference.empty()) {
+    ASSERT_EQ(heap.pop().sequence, reference.top().sequence);
+    reference.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(OpenHeapTest, MatchesPriorityQueueBestFirst) {
+  fuzz_heap_against_priority_queue(false, 2024);
+}
+
+TEST(OpenHeapTest, MatchesPriorityQueueDepthFirst) {
+  fuzz_heap_against_priority_queue(true, 2025);
+}
+
+// ---------------------------------------------------------------------------
+// StampedSet64 vs std::unordered_set, including epoch-based clear.
+
+TEST(StampedSet64Test, MatchesUnorderedSetAcrossClears) {
+  util::Rng rng(7);
+  util::StampedSet64 set;
+  std::unordered_set<std::uint64_t> reference;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    set.clear();
+    reference.clear();
+    const int ops = static_cast<int>(rng.uniform_int(1, 400));
+    for (int i = 0; i < ops; ++i) {
+      const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 300));
+      const bool inserted = set.insert(key);
+      EXPECT_EQ(inserted, reference.insert(key).second);
+      EXPECT_TRUE(set.contains(key));
+    }
+    for (std::uint64_t key = 0; key <= 300; ++key) {
+      EXPECT_EQ(set.contains(key), reference.count(key) == 1);
+    }
+  }
+}
+
+TEST(StampedSet64Test, ClearIsConstantTimeEpochBump) {
+  util::StampedSet64 set;
+  for (std::uint64_t i = 0; i < 2000; ++i) set.insert(i * 0x9e3779b9ULL);
+  const std::size_t bytes_before = set.capacity_bytes();
+  set.clear();  // O(1): bumps the epoch, does not touch the slots
+  EXPECT_EQ(set.capacity_bytes(), bytes_before);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+}
+
+// ---------------------------------------------------------------------------
+// FlatMap64 vs std::unordered_map.
+
+TEST(FlatMap64Test, MatchesUnorderedMap) {
+  util::Rng rng(9);
+  util::FlatMap64<double> map;
+  std::unordered_map<std::uint64_t, double> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 500));
+    if (rng.uniform01() < 0.7) {
+      const double value = rng.uniform01();
+      bool inserted = false;
+      map.get_or_insert(key, inserted) += value;
+      EXPECT_EQ(inserted, reference.find(key) == reference.end());
+      reference[key] += value;
+    } else {
+      const double* found = map.find(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end());
+      if (found != nullptr) {
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  std::size_t visited = 0;
+  map.for_each([&](std::uint64_t key, const double& value) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMap64Test, ClearCyclesInvalidateStaleSlots) {
+  // clear() is an epoch bump, not a wipe: slots written in earlier epochs
+  // must read as empty, even when a later epoch probes straight across
+  // them, and the dense iteration index must forget them too.
+  util::FlatMap64<int> map;
+  map.reserve(64);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    for (std::uint64_t key = 0; key < 40; ++key) {
+      if (key % 2 == static_cast<std::uint64_t>(cycle % 2)) {
+        map.insert_if_absent(key, cycle);
+      }
+    }
+    std::size_t visited = 0;
+    map.for_each([&](std::uint64_t key, const int& value) {
+      ++visited;
+      EXPECT_EQ(key % 2, static_cast<std::uint64_t>(cycle % 2));
+      EXPECT_EQ(value, cycle);
+    });
+    EXPECT_EQ(visited, 20u);
+    EXPECT_EQ(map.size(), 20u);
+    for (std::uint64_t key = 0; key < 40; ++key) {
+      const bool expect_present =
+          key % 2 == static_cast<std::uint64_t>(cycle % 2);
+      EXPECT_EQ(map.find(key) != nullptr, expect_present) << key;
+    }
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(0), nullptr);
+  }
+}
+
+TEST(FlatMap64Test, InsertIfAbsentKeepsNewestValue) {
+  // flatten_tables_from walks a chain newest-level-first and relies on
+  // insert_if_absent dropping older (later-visited) values.
+  util::FlatMap64<double> map;
+  map.insert_if_absent(42, 1.0);
+  map.insert_if_absent(42, 2.0);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkArena.
+
+TEST(ChunkArenaTest, ResetRetainsSlabStorage) {
+  util::ChunkArena arena;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(1024, 16);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  }
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GE(reserved, 100u * 1024u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // slabs survive reset
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  void* again = arena.allocate(64, 8);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // recycled, no growth
+}
+
+TEST(ChunkArenaTest, OversizeRequestGetsDedicatedSlab) {
+  util::ChunkArena arena;
+  void* big = arena.allocate(1 << 20, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+// ---------------------------------------------------------------------------
+// PartialPlacement branch_from: the COW chain must be observationally
+// identical to copy + place, and copying a chain state must flatten it.
+
+PartialPlacement random_prefix(const topo::AppTopology& app,
+                               const dc::Occupancy& occupancy,
+                               const Objective& objective, util::Rng& rng,
+                               int max_placed) {
+  PartialPlacement state(app, occupancy, objective);
+  const int target = static_cast<int>(rng.uniform_int(0, max_placed));
+  for (int i = 0; i < target; ++i) {
+    const auto node = static_cast<topo::NodeId>(i);
+    if (node >= app.node_count()) break;
+    const auto host = static_cast<dc::HostId>(rng.uniform_int(
+        0, static_cast<int>(occupancy.datacenter().host_count()) - 1));
+    if (state.can_place(node, host)) state.place(node, host);
+  }
+  return state;
+}
+
+void expect_bitwise_equal(const PartialPlacement& a, const PartialPlacement& b,
+                          const dc::DataCenter& datacenter, int trial) {
+  ASSERT_EQ(a.assignment(), b.assignment()) << "trial " << trial;
+  EXPECT_EQ(a.ubw(), b.ubw()) << "trial " << trial;
+  EXPECT_EQ(a.remaining_bw_bound(), b.remaining_bw_bound())
+      << "trial " << trial;
+  EXPECT_EQ(a.new_active_hosts(), b.new_active_hosts()) << "trial " << trial;
+  EXPECT_EQ(a.utility_bound(), b.utility_bound()) << "trial " << trial;
+  for (dc::HostId h = 0; h < datacenter.host_count(); ++h) {
+    const topo::Resources ra = a.available(h);
+    const topo::Resources rb = b.available(h);
+    EXPECT_EQ(ra.vcpus, rb.vcpus) << "trial " << trial << " host " << h;
+    EXPECT_EQ(ra.mem_gb, rb.mem_gb) << "trial " << trial << " host " << h;
+    EXPECT_EQ(ra.disk_gb, rb.disk_gb) << "trial " << trial << " host " << h;
+    EXPECT_EQ(a.is_active(h), b.is_active(h)) << "trial " << trial;
+    EXPECT_EQ(a.pending_uplink_mbps(h), b.pending_uplink_mbps(h))
+        << "trial " << trial << " host " << h;
+  }
+  for (dc::LinkId l = 0; l < datacenter.link_count(); ++l) {
+    EXPECT_EQ(a.link_available(l), b.link_available(l))
+        << "trial " << trial << " link " << l;
+  }
+  EXPECT_EQ(a.has_link_overcommit(), b.has_link_overcommit())
+      << "trial " << trial;
+}
+
+TEST(PooledBranchTest, ChainMatchesCopyPlaceBitwise) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto datacenter =
+        trial % 2 == 0 ? small_dc(2, 3) : two_site_dc(2, 2);
+    const dc::Occupancy occupancy(datacenter);
+    const auto app = random_app(rng, 6);
+    SearchConfig config;
+    const Objective objective(app, datacenter, config);
+    const PartialPlacement root =
+        random_prefix(app, occupancy, objective, rng, 2);
+
+    SearchArena arena;
+    arena.begin_plan(false, 64);
+    PartialPlacement& pooled_root = arena.acquire(root);
+    pooled_root.assign_pooled_flat(root);
+    expect_bitwise_equal(pooled_root, root, datacenter, trial);
+
+    // Grow a chain deeper than kFlattenThreshold so both the chain walk and
+    // the flatten-on-branch path run; mirror with copy + place.
+    const PartialPlacement* pooled = &pooled_root;
+    PartialPlacement reference = root;
+    for (topo::NodeId node = 0; node < app.node_count(); ++node) {
+      if (reference.is_placed(node)) continue;
+      dc::HostId placed_on = dc::kInvalidHost;
+      for (dc::HostId h = 0; h < datacenter.host_count(); ++h) {
+        const auto host = static_cast<dc::HostId>(
+            (h + static_cast<dc::HostId>(trial)) % datacenter.host_count());
+        if (reference.can_place(node, host)) {
+          placed_on = host;
+          break;
+        }
+      }
+      if (placed_on == dc::kInvalidHost) continue;
+
+      PartialPlacement& child = arena.acquire(*pooled);
+      child.branch_from(*pooled);
+      ASSERT_TRUE(child.can_place(node, placed_on)) << "trial " << trial;
+      child.place(node, placed_on);
+
+      PartialPlacement ref_child = reference;  // copy + place reference
+      ref_child.place(node, placed_on);
+
+      expect_bitwise_equal(child, ref_child, datacenter, trial);
+      pooled = &child;
+      reference = std::move(ref_child);
+    }
+
+    // Copying the deepest chain state must yield a self-contained (flat)
+    // equal state — this is what Incumbent::offer relies on.
+    const PartialPlacement copied = *pooled;
+    expect_bitwise_equal(copied, reference, datacenter, trial);
+    arena.end_plan();
+    // The arena states are recycled now; the copy must remain valid.
+    expect_bitwise_equal(copied, reference, datacenter, trial);
+  }
+}
+
+TEST(SearchArenaTest, RecyclesStatesAndReportsWarmth) {
+  const auto datacenter = small_dc(2, 2);
+  const dc::Occupancy occupancy(datacenter);
+  util::Rng rng(5);
+  const auto app = random_app(rng, 4);
+  SearchConfig config;
+  const Objective objective(app, datacenter, config);
+  const PartialPlacement proto(app, occupancy, objective);
+
+  SearchArena arena;
+  EXPECT_FALSE(arena.active());
+
+  arena.begin_plan(false, 16);
+  EXPECT_TRUE(arena.active());
+  EXPECT_FALSE(arena.warm());
+  PartialPlacement* first = &arena.acquire(proto);
+  arena.acquire(proto);
+  EXPECT_EQ(arena.states_in_use(), 2u);
+  arena.end_plan();
+  EXPECT_FALSE(arena.active());
+  EXPECT_EQ(arena.plans_served(), 1u);
+
+  arena.begin_plan(true, 16);
+  EXPECT_TRUE(arena.warm());
+  // Same slots come back in order: recycled, not reallocated.
+  EXPECT_EQ(&arena.acquire(proto), first);
+  arena.end_plan();
+  EXPECT_GT(arena.bytes_retained(), 0u);
+}
+
+TEST(SearchArenaTest, ThreadArenaIsStablePerThread) {
+  SearchArena& a = thread_search_arena();
+  SearchArena& b = thread_search_arena();
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(a.active());
+}
+
+}  // namespace
+}  // namespace ostro::core

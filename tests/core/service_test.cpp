@@ -367,5 +367,68 @@ TEST(ServiceStressTest, ConcurrentAutoBudgetPlansAreRaceFreeAndStable) {
   EXPECT_DOUBLE_EQ(fixed_after.utility, fixed_before.utility);
 }
 
+// Satellite regression for SearchCore::kPooled under concurrency: every
+// thread owns a private SearchArena (thread_search_arena), so pooled plans
+// running in parallel must share nothing — TSan proves the isolation, and
+// the bitwise comparison against a serial kReference plan proves that a
+// warm, concurrently reused arena still reproduces the reference search
+// exactly on every iteration.
+TEST(ServiceStressTest, ConcurrentPooledArenasStayIsolatedAndBitIdentical) {
+  const auto datacenter = small_dc(3, 3);
+  SearchConfig pooled_config = serial_config();
+  pooled_config.search_core = SearchCore::kPooled;
+  SearchConfig reference_config = pooled_config;
+  reference_config.search_core = SearchCore::kReference;
+  OstroScheduler scheduler(datacenter, pooled_config);
+
+  // A few distinct stacks so concurrent plans stress differently shaped
+  // searches (and differently sized arena states) on the same threads.
+  std::vector<topo::AppTopology> stacks;
+  util::Rng rng(20260808);
+  for (int i = 0; i < 4; ++i) {
+    topo::TopologyBuilder builder;
+    builder.add_vm("w0", {1.0 + i % 2, 2.0, 0.0});
+    builder.add_vm("w1", {1.0, 1.0, 0.0});
+    builder.add_vm("d", {2.0, 2.0, 0.0});
+    builder.connect("w0", "d", 20.0 + 10.0 * i);
+    builder.connect("w1", "d", 15.0);
+    stacks.push_back(builder.build());
+  }
+
+  std::vector<Placement> references;
+  references.reserve(stacks.size());
+  for (const auto& stack : stacks) {
+    references.push_back(
+        scheduler.plan(stack, Algorithm::kBaStar, reference_config));
+    ASSERT_TRUE(references.back().feasible);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPlansPerThread = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kPlansPerThread; ++j) {
+        // Round-robin over the stacks: after the first lap the thread's
+        // arena is warm and gets recycled across differently sized plans.
+        const std::size_t s =
+            static_cast<std::size_t>(t + j) % stacks.size();
+        const Placement pooled =
+            scheduler.plan(stacks[s], Algorithm::kBaStar, pooled_config);
+        if (!pooled.feasible ||
+            pooled.assignment != references[s].assignment ||
+            pooled.utility != references[s].utility ||
+            pooled.stats.paths_expanded != references[s].stats.paths_expanded) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 }  // namespace
 }  // namespace ostro::core

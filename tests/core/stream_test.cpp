@@ -450,5 +450,77 @@ TEST(StreamStressTest, BatchedCommitsMatchSerialReplay) {
   }
 }
 
+// Pooled-core variant of the stress test: multi-dispatcher batched commits
+// where every plan runs BA* on SearchCore::kPooled, so the dispatcher
+// threads' search arenas are created, warmed, and recycled concurrently.
+// The serial replay invariant plus TSan coverage proves per-thread arenas
+// share no state across the streaming pipeline.
+TEST(StreamStressTest, PooledSearchCoreBatchedCommitsMatchSerialReplay) {
+  constexpr int kSubmitters = 4;
+  constexpr int kStacksPerSubmitter = 25;
+  constexpr int kTotal = kSubmitters * kStacksPerSubmitter;
+
+  const auto datacenter = small_dc(4, 4);
+  SearchConfig config = stream_config(/*batch=*/4, /*capacity=*/kTotal);
+  config.stream_dispatch_threads = 3;
+  config.search_core = SearchCore::kPooled;
+  OstroScheduler scheduler(datacenter, config);
+  PlacementService service(scheduler);
+  StreamingService stream(service, config);
+
+  std::vector<topo::AppTopology> stacks;
+  util::Rng rng(20260809);
+  stacks.reserve(kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    topo::TopologyBuilder builder;
+    const double cores = static_cast<double>(rng.uniform_int(1, 2));
+    builder.add_vm("w", {cores, cores, 0.0});
+    builder.add_vm("d", {1.0, 1.0, 0.0});
+    builder.connect("w", "d", static_cast<double>(rng.uniform_int(10, 50)));
+    stacks.push_back(builder.build());
+  }
+
+  std::vector<std::future<StreamResult>> futures(kTotal);
+  util::run_workers(kSubmitters, [&](std::size_t t) {
+    for (int j = 0; j < kStacksPerSubmitter; ++j) {
+      const std::size_t i =
+          t * kStacksPerSubmitter + static_cast<std::size_t>(j);
+      StreamRequest request = request_for(stacks[i]);
+      request.algorithm = Algorithm::kBaStar;  // exercise the pooled search
+      futures[i] = stream.submit(std::move(request));
+    }
+  });
+  stream.close();
+  stream.shutdown();
+
+  std::vector<StreamResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+
+  struct Committed {
+    std::uint64_t epoch;
+    std::size_t index;
+  };
+  std::vector<Committed> committed;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StreamResult& result = results[i];
+    if (result.status == StreamStatus::kCommitted) {
+      committed.push_back({result.service.commit_epoch, i});
+    }
+  }
+  ASSERT_FALSE(committed.empty());
+  std::sort(committed.begin(), committed.end(),
+            [](const Committed& a, const Committed& b) {
+              return a.epoch < b.epoch;
+            });
+
+  dc::Occupancy replay(datacenter);
+  for (const Committed& c : committed) {
+    net::commit_placement(replay, stacks[c.index],
+                          results[c.index].service.placement.assignment);
+  }
+  EXPECT_TRUE(replay == scheduler.occupancy());
+}
+
 }  // namespace
 }  // namespace ostro::core

@@ -87,6 +87,7 @@ int cmd_place_service(util::ArgParser& args, int threads) {
   config.theta_c = args.get_double("theta-c");
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  config.search_core = core::parse_search_core(args.get_string("search-core"));
   const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
 
   core::OstroScheduler scheduler(datacenter, config);
@@ -149,6 +150,7 @@ int cmd_place(util::ArgParser& args) {
   config.theta_c = args.get_double("theta-c");
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  config.search_core = core::parse_search_core(args.get_string("search-core"));
   const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
 
   const core::Placement placement = core::place_topology(
@@ -233,6 +235,7 @@ int cmd_serve(util::ArgParser& args) {
   config.theta_c = args.get_double("theta-c");
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  config.search_core = core::parse_search_core(args.get_string("search-core"));
   const auto default_algorithm =
       core::parse_algorithm(args.get_string("algorithm"));
 
@@ -471,6 +474,9 @@ int main(int argc, char** argv) {
     args.add_string("budget", "fixed",
                     "BA*/DBA* search-budget mode: fixed (paper constants) | "
                     "auto (adaptive sizing + widened retries)");
+    args.add_string("search-core", "pooled",
+                    "BA*/DBA* memory model: pooled (per-thread arena, "
+                    "bit-identical) | reference (original containers)");
     args.add_double("deadline", 0.0, "DBA* deadline (seconds)");
     args.add_double("theta-bw", 0.6, "bandwidth objective weight");
     args.add_double("theta-c", 0.4, "host-count objective weight");
