@@ -22,6 +22,7 @@
 #include "core/scheduler.h"
 #include "core/search_core.h"
 #include "core/symmetry.h"
+#include "datacenter/prune_labels.h"
 #include "net/maxmin.h"
 #include "net/reservation.h"
 #include "sim/clusters.h"
@@ -789,6 +790,189 @@ void write_search_core_json(bool smoke) {
   file << util::Json(std::move(out)).pretty() << '\n';
 }
 
+/// Quantifies the precomputed prune labels (SearchConfig::use_prune_labels;
+/// DESIGN.md section 12) and writes BENCH_labels.json.  Three sections:
+///   1. Comparable dive — the exact workload of BENCH_search_core.json
+///      (Figure-7 fleet, deterministic DBA* dive, pooled core) with labels
+///      on; its pooled_expansions_per_sec is diffed against
+///      BENCH_search_core.json by scripts/compare_bench.py in CI, gating
+///      the labels overhead on the regime where they rarely fire.
+///   2. BA* expansion drop — a fragmented near-full fleet (every rack down
+///      to at most one feasible host, 10 open hosts across 150 racks):
+///      the regime the labels were built for, where the separation ladder
+///      and the host climb tighten nearly every edge bound.  Labels on vs
+///      off, same final assignment required, expansion drop recorded.
+///   3. Maintenance cost — label rebuild seconds at 2400 hosts and the
+///      per-commit refresh cost on the live add/remove path.
+void write_labels_json(bool smoke) {
+  auto& f = fig7();
+
+  // ---- 1. Comparable dive (same shaping as write_search_core_json) ----
+  dc::Occupancy dive_occupancy(f.datacenter);
+  for (const dc::Rack& rack : f.datacenter.racks()) {
+    if (rack.id % 20 == 0) continue;  // stays open
+    for (const dc::HostId h : rack.hosts) {
+      dive_occupancy.add_host_load(h, dive_occupancy.available(h));
+    }
+  }
+  util::Rng rng(11);
+  const topo::AppTopology dive_app = sim::make_multitier(
+      smoke ? 60 : 200, sim::RequirementMix::kHeterogeneous, rng);
+  core::SearchConfig dive_config;
+  dive_config.deadline_seconds = 0.0;
+  dive_config.initial_prune_range = 0.0;
+  dive_config.dba_beam_width = 8;
+  dive_config.max_expansions = smoke ? 400 : 2000;
+  dive_config.search_core = core::SearchCore::kPooled;
+  dive_config.use_prune_labels = true;
+  const core::Objective dive_objective(dive_app, f.datacenter, dive_config);
+  const int plans = smoke ? 2 : 4;
+  // Warm-up grows the arena so the measured plans are steady-state.
+  (void)core::run_astar(
+      core::PartialPlacement(dive_app, dive_occupancy, dive_objective,
+                             dive_config.use_prune_labels),
+      dive_config, true, nullptr);
+  double dive_seconds = 0.0;
+  std::uint64_t dive_expanded = 0;
+  for (int i = 0; i < plans; ++i) {
+    const util::WallTimer timer;
+    const core::AStarOutcome outcome = core::run_astar(
+        core::PartialPlacement(dive_app, dive_occupancy, dive_objective,
+                               dive_config.use_prune_labels),
+        dive_config, true, nullptr);
+    dive_seconds += timer.elapsed_seconds();
+    dive_expanded += outcome.stats.paths_expanded;
+  }
+
+  // ---- 2. BA* expansion drop on the fragmented near-full fleet ----
+  // Ten hosts spread across ten racks keep (5, 10, 300) free — enough for
+  // any single sim VM (at most 4 cores) but not for most pairs, so the
+  // reference bound's same-host optimism is wrong on most edges while the
+  // co-location escalate (root max_free) and the one-feasible-host-per-rack
+  // separation ladder correct it to the true cross-rack distance.
+  dc::Occupancy full_occupancy(f.datacenter);
+  for (const dc::Rack& rack : f.datacenter.racks()) {
+    for (std::size_t i = 0; i < rack.hosts.size(); ++i) {
+      const dc::HostId h = rack.hosts[i];
+      if (i == 0 && rack.id % 15 == 0) {
+        const topo::Resources free = full_occupancy.available(h);
+        full_occupancy.add_host_load(
+            h, {free.vcpus - 5.0, free.mem_gb - 10.0, free.disk_gb - 300.0});
+        continue;
+      }
+      full_occupancy.add_host_load(h, full_occupancy.available(h));
+    }
+  }
+  util::Rng app_rng(13);
+  const topo::AppTopology ba_app = sim::make_multitier(
+      smoke ? 10 : 15, sim::RequirementMix::kHeterogeneous, app_rng);
+  core::SearchConfig ba_config;
+  ba_config.max_expansions = smoke ? 3000 : 20000;
+  ba_config.search_core = core::SearchCore::kPooled;
+  const core::Objective ba_objective(ba_app, f.datacenter, ba_config);
+
+  struct LabelRun {
+    double seconds = 0.0;
+    core::SearchStats stats;
+    bool feasible = false;
+    net::Assignment assignment;
+    std::uint64_t separation_escalations = 0;
+    std::uint64_t host_escalations = 0;
+  };
+  const auto measure_ba = [&](bool use_labels) {
+    auto& m_sep = util::metrics::counter("heuristic.separation_escalations");
+    auto& m_host = util::metrics::counter("heuristic.host_escalations");
+    const std::uint64_t sep_before = m_sep.value();
+    const std::uint64_t host_before = m_host.value();
+    LabelRun run;
+    const util::WallTimer timer;
+    const core::AStarOutcome outcome = core::run_astar(
+        core::PartialPlacement(ba_app, full_occupancy, ba_objective,
+                               use_labels),
+        ba_config, false, nullptr);
+    run.seconds = timer.elapsed_seconds();
+    run.stats = outcome.stats;
+    run.feasible = outcome.feasible;
+    if (outcome.feasible) run.assignment = outcome.state.assignment();
+    run.separation_escalations = m_sep.value() - sep_before;
+    run.host_escalations = m_host.value() - host_before;
+    return run;
+  };
+  const LabelRun labels_off = measure_ba(false);
+  const LabelRun labels_on = measure_ba(true);
+  if (labels_on.feasible != labels_off.feasible ||
+      labels_on.assignment != labels_off.assignment) {
+    throw std::runtime_error(
+        "BENCH_labels: labels-on placement differs from labels-off");
+  }
+  const double drop_pct =
+      labels_off.stats.paths_expanded == 0
+          ? 0.0
+          : 100.0 *
+                (1.0 - static_cast<double>(labels_on.stats.paths_expanded) /
+                           static_cast<double>(labels_off.stats.paths_expanded));
+
+  // ---- 3. Maintenance cost at Figure-7 scale ----
+  const int rebuilds = smoke ? 3 : 20;
+  const util::WallTimer rebuild_timer;
+  for (int i = 0; i < rebuilds; ++i) {
+    dc::PruneLabels fresh;
+    fresh.rebuild(f.datacenter, full_occupancy.feasibility());
+    benchmark::DoNotOptimize(&fresh);
+  }
+  const double rebuild_seconds = rebuild_timer.elapsed_seconds() / rebuilds;
+
+  auto& m_refreshes = util::metrics::counter("labels.refreshes");
+  const std::uint64_t refreshes_before = m_refreshes.value();
+  const int refresh_ops = smoke ? 2000 : 100000;
+  const topo::Resources slice{1.0, 2.0, 10.0};
+  const auto open_host = static_cast<dc::HostId>(0);
+  const util::WallTimer refresh_timer;
+  for (int i = 0; i < refresh_ops; ++i) {
+    // Alternating add/remove flips host 0's feasibility every other op, so
+    // the measured cost covers both the early-out and the cascade path.
+    full_occupancy.add_host_load(open_host, slice);
+    full_occupancy.remove_host_load(open_host, slice);
+  }
+  const double refresh_seconds = refresh_timer.elapsed_seconds();
+  const std::uint64_t refreshes = m_refreshes.value() - refreshes_before;
+
+  util::JsonObject out;
+  out["benchmark"] = "prune_labels_fig7";
+  out["hosts"] = static_cast<int>(f.datacenter.host_count());
+  out["dive_app_nodes"] = static_cast<int>(dive_app.node_count());
+  out["dive_plans_measured"] = plans;
+  out["dive_expansions_per_plan"] =
+      static_cast<double>(dive_expanded) / plans;
+  out["pooled_expansions_per_sec"] =
+      static_cast<double>(dive_expanded) / dive_seconds;
+  out["ba_app_nodes"] = static_cast<int>(ba_app.node_count());
+  out["ba_feasible"] = labels_on.feasible;
+  out["ba_on_expansions"] =
+      static_cast<std::int64_t>(labels_on.stats.paths_expanded);
+  out["ba_off_expansions"] =
+      static_cast<std::int64_t>(labels_off.stats.paths_expanded);
+  out["ba_expansion_drop_pct"] = drop_pct;
+  out["ba_on_open_queue_peak"] =
+      static_cast<std::int64_t>(labels_on.stats.open_queue_peak);
+  out["ba_off_open_queue_peak"] =
+      static_cast<std::int64_t>(labels_off.stats.open_queue_peak);
+  out["ba_on_seconds_per_plan"] = labels_on.seconds;
+  out["ba_off_seconds_per_plan"] = labels_off.seconds;
+  out["ba_speedup"] = labels_off.seconds / labels_on.seconds;
+  out["ba_separation_escalations"] =
+      static_cast<std::int64_t>(labels_on.separation_escalations);
+  out["ba_host_escalations"] =
+      static_cast<std::int64_t>(labels_on.host_escalations);
+  out["label_rebuild_seconds"] = rebuild_seconds;
+  out["label_refresh_ns_per_commit"] =
+      refresh_seconds * 1e9 / (2.0 * refresh_ops);
+  out["label_refreshes_per_commit"] =
+      static_cast<double>(refreshes) / (2.0 * refresh_ops);
+  std::ofstream file("BENCH_labels.json");
+  file << util::Json(std::move(out)).pretty() << '\n';
+}
+
 }  // namespace
 
 // google-benchmark rejects unknown flags, so --smoke (the CI sanity mode:
@@ -822,6 +1006,7 @@ int main(int argc, char** argv) {
   write_candidates_json(smoke);
   write_budget_json(smoke);
   write_search_core_json(smoke);
+  write_labels_json(smoke);
   benchmark::Shutdown();
   return 0;
 }

@@ -45,6 +45,13 @@ constexpr std::size_t kDefaultOpenReserve = 4 * 1024;
   return dc::Scope::kSameRack;
 }
 
+/// Mirror of PartialPlacement's guard: the label feasibility counters track
+/// compute (vcpus, mem_gb) and only bound nodes that require it.
+[[nodiscard]] bool requires_compute(const topo::Resources& r) noexcept {
+  constexpr double kReqEps = 1e-9;
+  return r.vcpus > kReqEps && r.mem_gb > kReqEps;
+}
+
 /// BA* pops the least-priority path (best-first on the admissible bound,
 /// Algorithm 2).  DBA* pops the deepest path first and breaks depth ties by
 /// priority: a best-child-first depth-first search with backtracking.  This
@@ -108,6 +115,17 @@ struct ChildScore {
     if (scope == dc::Scope::kSameHost &&
         !topology.node(nb.node).requirements.fits_within(residual)) {
       scope = dc::Scope::kSameRack;
+    }
+    if (parent.use_prune_labels() && scope != dc::Scope::kSameHost) {
+      // Same climb the materialized child's edge_lower_bound will run; the
+      // climb is monotone in the entry scope and reads only base-occupancy
+      // aggregates (constant during one search), so this lazy priority
+      // never exceeds the exact bound — the open queue's re-queue test
+      // stays sound.
+      const topo::Resources& req = topology.node(nb.node).requirements;
+      scope = parent.base().labels().tighten_to_host(
+          scope, host, req, requires_compute(req), nb.bandwidth_mbps,
+          parent.base().feasibility());
     }
     bound += Objective::edge_cost(nb.bandwidth_mbps, scope);
   }

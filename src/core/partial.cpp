@@ -17,14 +17,26 @@ namespace {
   return dc::Scope::kSameRack;
 }
 
+/// Positive compute requirements (vcpus and mem_gb): only then does "no
+/// compute-feasible host" imply "this node cannot land there".  The label
+/// counters track compute feasibility and ignore disk, so a zero-disk VM is
+/// still covered; a volume (zero compute) fits a compute-exhausted host,
+/// which the counters don't see, and must not be tightened dynamically.
+[[nodiscard]] bool requires_compute(const topo::Resources& r) noexcept {
+  constexpr double kEps = 1e-9;
+  return r.vcpus > kEps && r.mem_gb > kEps;
+}
+
 }  // namespace
 
 PartialPlacement::PartialPlacement(const topo::AppTopology& topology,
                                    const dc::Occupancy& base,
-                                   const Objective& objective)
+                                   const Objective& objective,
+                                   bool use_prune_labels)
     : topology_(&topology),
       base_(&base),
       objective_(&objective),
+      use_prune_labels_(use_prune_labels),
       assignment_(topology.node_count(), dc::kInvalidHost) {
   for (const auto& edge : topology_->edges()) {
     bound_sum_ += edge_lower_bound(edge);
@@ -35,6 +47,7 @@ PartialPlacement::PartialPlacement(const PartialPlacement& other)
     : topology_(other.topology_),
       base_(other.base_),
       objective_(other.objective_),
+      use_prune_labels_(other.use_prune_labels_),
       assignment_(other.assignment_),
       placed_count_(other.placed_count_),
       host_delta_(other.host_delta_),
@@ -217,23 +230,41 @@ double PartialPlacement::edge_lower_bound(const topo::Edge& edge) const {
   if (a_placed && b_placed) return 0.0;  // actual cost lives in ubw_
 
   if (!a_placed && !b_placed) {
+    const topo::Resources& req_a = topology_->node(edge.a).requirements;
+    const topo::Resources& req_b = topology_->node(edge.b).requirements;
     dc::Scope scope = dc::Scope::kSameHost;
     if (const auto level = topology_->required_separation(edge.a, edge.b)) {
       scope = forced_scope(*level);
     }
     if (scope == dc::Scope::kSameHost) {
-      const topo::Resources combined = topology_->node(edge.a).requirements +
-                                       topology_->node(edge.b).requirements;
+      const topo::Resources combined = req_a + req_b;
       if (!combined.fits_within(datacenter().max_host_capacity())) {
         scope = dc::Scope::kSameRack;
+      } else if (use_prune_labels_ &&
+                 !combined.fits_within(
+                     base_->feasibility().root().max_free)) {
+        // No host currently offers the combined free capacity, and search
+        // overlays only consume more: co-location is impossible in any
+        // completion of this plan.
+        scope = dc::Scope::kSameRack;
       }
+    }
+    if (use_prune_labels_ && scope != dc::Scope::kSameHost) {
+      scope = base_->labels().tighten_separation(
+          scope, requires_compute(req_a) && requires_compute(req_b));
     }
     return Objective::edge_cost(edge.bandwidth_mbps, scope);
   }
 
   const topo::NodeId placed = a_placed ? edge.a : edge.b;
   const topo::NodeId free = a_placed ? edge.b : edge.a;
-  const dc::Scope scope = min_scope_to_host(free, assignment_[placed]);
+  dc::Scope scope = min_scope_to_host(free, assignment_[placed]);
+  if (use_prune_labels_ && scope != dc::Scope::kSameHost) {
+    const topo::Resources& req = topology_->node(free).requirements;
+    scope = base_->labels().tighten_to_host(
+        scope, assignment_[placed], req, requires_compute(req),
+        edge.bandwidth_mbps, base_->feasibility());
+  }
   return Objective::edge_cost(edge.bandwidth_mbps, scope);
 }
 
@@ -496,6 +527,7 @@ void PartialPlacement::assign_pooled_flat(const PartialPlacement& src) {
   topology_ = src.topology_;
   base_ = src.base_;
   objective_ = src.objective_;
+  use_prune_labels_ = src.use_prune_labels_;
   assignment_ = src.assignment_;
   placed_count_ = src.placed_count_;
   newly_active_ = src.newly_active_;
@@ -525,6 +557,7 @@ void PartialPlacement::branch_from(const PartialPlacement& parent) {
   topology_ = parent.topology_;
   base_ = parent.base_;
   objective_ = parent.objective_;
+  use_prune_labels_ = parent.use_prune_labels_;
   assignment_ = parent.assignment_;  // O(|V|) flat copy, capacity reused
   placed_count_ = parent.placed_count_;
   newly_active_ = parent.newly_active_;

@@ -41,8 +41,13 @@ namespace ostro::core {
 
 class PartialPlacement {
  public:
+  /// `use_prune_labels` opts the admissible bound into the precomputed
+  /// dc::PruneLabels tighteners (SearchConfig::use_prune_labels); the
+  /// default keeps the reference bound so direct constructions (tests,
+  /// differential baselines) are unaffected.
   PartialPlacement(const topo::AppTopology& topology,
-                   const dc::Occupancy& base, const Objective& objective);
+                   const dc::Occupancy& base, const Objective& objective,
+                   bool use_prune_labels = false);
 
   /// Copies are always self-contained: copying a pooled chain state (see
   /// branch_from) flattens it, so the copy never references arena memory
@@ -136,6 +141,14 @@ class PartialPlacement {
   }
   [[nodiscard]] const Objective& objective() const noexcept {
     return *objective_;
+  }
+
+  /// Whether the admissible bound (and the candidate descent) consult the
+  /// base occupancy's dc::PruneLabels.  Fixed at construction; copies,
+  /// branch_from and assign_pooled_flat all inherit it so every state of
+  /// one search prices pipes identically (the lazy-priority invariant).
+  [[nodiscard]] bool use_prune_labels() const noexcept {
+    return use_prune_labels_;
   }
 
   /// Hosts carrying at least one node of this placement (the H* of
@@ -270,6 +283,7 @@ class PartialPlacement {
   const topo::AppTopology* topology_;
   const dc::Occupancy* base_;
   const Objective* objective_;
+  bool use_prune_labels_ = false;
 
   net::Assignment assignment_;
   std::size_t placed_count_ = 0;

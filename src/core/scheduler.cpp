@@ -114,7 +114,7 @@ Placement place_topology(const dc::Occupancy& base,
   util::WallTimer timer;
 
   const Objective objective(topology, base.datacenter(), config);
-  PartialPlacement state(topology, base, objective);
+  PartialPlacement state(topology, base, objective, config.use_prune_labels);
 
   // Pre-place pinned nodes (online adaptation, Section IV-E).  Pins go
   // through the same constraint checks as search decisions.

@@ -105,6 +105,17 @@ struct SearchConfig {
   /// knob.
   bool use_candidate_index = true;
 
+  /// Tighten the admissible bound (and the candidate descent) with the
+  /// precomputed dc::PruneLabels: separation-feasibility counters escalate
+  /// pipe scopes no completion can avoid, host-anchored climb labels price
+  /// placed-free pipes against the feasibility aggregates around the placed
+  /// host, and tag-reachability bitmaps skip subtrees lacking a required
+  /// hardware tag.  The tightened bound stays admissible, so BA*/DBA*
+  /// return bit-identical optima while expanding fewer states (this IS a
+  /// perf knob, differential-tested against the reference bound it
+  /// replaces; see DESIGN.md section 12).
+  bool use_prune_labels = true;
+
   /// Safety valve for BA*/DBA*: abort with the incumbent EG solution when
   /// the open queue would exceed this many paths (0 = unlimited).  Under
   /// budget_mode == kAuto this is the *seed ceiling* of the first attempt,

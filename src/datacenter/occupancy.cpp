@@ -21,10 +21,13 @@ Occupancy::Occupancy(const DataCenter& dc)
     uplink_free[h] = dc.link_capacity(dc.host_link(h)) - link_used_[dc.host_link(h)];
   }
   index_.rebuild(dc, std::move(host_free), std::move(uplink_free));
+  labels_.rebuild(dc, index_);
 }
 
 void Occupancy::index_host(HostId h) {
-  index_.set_host_free(h, dc_->host(h).capacity - host_used_[h]);
+  const topo::Resources free = dc_->host(h).capacity - host_used_[h];
+  index_.set_host_free(h, free);
+  labels_.on_host_update(h, free);
 }
 
 void Occupancy::index_link(LinkId link) {

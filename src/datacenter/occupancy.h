@@ -15,6 +15,7 @@
 
 #include "datacenter/datacenter.h"
 #include "datacenter/feasibility_index.h"
+#include "datacenter/prune_labels.h"
 #include "topology/resources.h"
 
 namespace ostro::dc {
@@ -87,13 +88,20 @@ class Occupancy {
     return index_;
   }
 
+  /// Precomputed pruning labels (separation-feasibility counters, host
+  /// climb labels, tag bitmaps), refreshed next to the feasibility index on
+  /// every host-load mutation.  Consumed by the admissible-bound tighteners
+  /// and the candidate descent when SearchConfig::use_prune_labels is set.
+  [[nodiscard]] const PruneLabels& labels() const noexcept { return labels_; }
+
   /// State equality: same datacenter, loads, reservations and active flags.
   /// The mutation version is deliberately excluded — two occupancies that
   /// reached the same state through different histories compare equal.
   friend bool operator==(const Occupancy& a, const Occupancy& b) noexcept {
     return a.dc_ == b.dc_ && a.host_used_ == b.host_used_ &&
            a.link_used_ == b.link_used_ && a.active_ == b.active_ &&
-           a.active_count_ == b.active_count_ && a.index_ == b.index_;
+           a.active_count_ == b.active_count_ && a.index_ == b.index_ &&
+           a.labels_ == b.labels_;
   }
 
  private:
@@ -112,6 +120,7 @@ class Occupancy {
   std::size_t active_count_ = 0;
   std::uint64_t version_ = 0;
   FeasibilityIndex index_;
+  PruneLabels labels_;
 };
 
 }  // namespace ostro::dc

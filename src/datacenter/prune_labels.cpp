@@ -1,0 +1,250 @@
+#include "datacenter/prune_labels.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+
+namespace ostro::dc {
+
+namespace {
+
+// Compute-feasibility: strictly positive free vcpus AND mem_gb, disk
+// ignored.  Deliberately weaker than the FeasibilityIndex all-dimensions
+// predicate: the labels use these counts only to conclude impossibility, so
+// they must over-approximate the hosts that could receive a node — and a
+// disk-exhausted host can still receive a zero-disk VM.  Any node that
+// requires compute (the `positive` guard at the call sites) cannot land on
+// a host this predicate excludes.
+[[nodiscard]] bool is_feasible(const topo::Resources& free) noexcept {
+  return free.vcpus > 0.0 && free.mem_gb > 0.0;
+}
+
+constexpr double kBandwidthEps = 1e-9;
+
+}  // namespace
+
+void PruneLabels::rebuild(const DataCenter& dc, const FeasibilityIndex& index) {
+  static util::metrics::Counter& m_rebuilds =
+      util::metrics::counter("labels.rebuilds");
+  dc_ = &dc;
+
+  // ---- dynamic separation-feasibility counters ----
+  const std::size_t hosts = dc.host_count();
+  host_feasible_.assign(hosts, 0);
+  rack_feasible_hosts_.assign(dc.racks().size(), 0);
+  pod_feasible_hosts_.assign(dc.pods().size(), 0);
+  site_feasible_hosts_.assign(dc.sites().size(), 0);
+  pod_feasible_racks_.assign(dc.pods().size(), 0);
+  site_feasible_pods_.assign(dc.sites().size(), 0);
+  for (HostId h = 0; h < hosts; ++h) {
+    if (is_feasible(index.host_free(h))) {
+      const HostAncestors& anc = dc.ancestors(h);
+      host_feasible_[h] = 1;
+      ++rack_feasible_hosts_[anc.rack];
+      ++pod_feasible_hosts_[anc.pod];
+      ++site_feasible_hosts_[anc.site];
+    }
+  }
+  racks_multi_feasible_ = 0;
+  for (const Rack& rack : dc.racks()) {
+    if (rack_feasible_hosts_[rack.id] >= 1) ++pod_feasible_racks_[rack.pod];
+    if (rack_feasible_hosts_[rack.id] >= 2) ++racks_multi_feasible_;
+  }
+  pods_multi_feasible_racks_ = 0;
+  for (const Pod& pod : dc.pods()) {
+    if (pod_feasible_racks_[pod.id] >= 1) ++site_feasible_pods_[pod.datacenter];
+    if (pod_feasible_racks_[pod.id] >= 2) ++pods_multi_feasible_racks_;
+  }
+  sites_multi_feasible_pods_ = 0;
+  for (const Site& site : dc.sites()) {
+    if (site_feasible_pods_[site.id] >= 2) ++sites_multi_feasible_pods_;
+  }
+
+  // ---- static floors ----
+  static_multi_host_racks_ = 0;
+  for (const Rack& rack : dc.racks()) {
+    if (rack.hosts.size() >= 2) ++static_multi_host_racks_;
+  }
+  static_multi_rack_pods_ = 0;
+  std::uint32_t nonempty_pods_per_site = 0;
+  static_multi_pod_sites_ = 0;
+  for (const Site& site : dc.sites()) {
+    nonempty_pods_per_site = 0;
+    for (const std::uint32_t p : site.pods) {
+      std::uint32_t nonempty_racks = 0;
+      for (const std::uint32_t r : dc.pods()[p].racks) {
+        if (!dc.racks()[r].hosts.empty()) ++nonempty_racks;
+      }
+      if (nonempty_racks >= 2) ++static_multi_rack_pods_;
+      if (nonempty_racks >= 1) ++nonempty_pods_per_site;
+    }
+    if (nonempty_pods_per_site >= 2) ++static_multi_pod_sites_;
+  }
+
+  // ---- tag registry (immutable after build) ----
+  tag_names_.clear();
+  for (const Host& host : dc.hosts()) {
+    for (const std::string& tag : host.tags) tag_names_.push_back(tag);
+  }
+  std::sort(tag_names_.begin(), tag_names_.end());
+  tag_names_.erase(std::unique(tag_names_.begin(), tag_names_.end()),
+                   tag_names_.end());
+  tag_overflow_ = tag_names_.size() > 64;
+  host_tag_mask_.assign(hosts, 0);
+  rack_tag_mask_.assign(dc.racks().size(), 0);
+  pod_tag_mask_.assign(dc.pods().size(), 0);
+  site_tag_mask_.assign(dc.sites().size(), 0);
+  if (!tag_overflow_) {
+    for (const Host& host : dc.hosts()) {
+      std::uint64_t mask = 0;
+      for (const std::string& tag : host.tags) {
+        const auto it =
+            std::lower_bound(tag_names_.begin(), tag_names_.end(), tag);
+        mask |= 1ULL << static_cast<std::uint64_t>(it - tag_names_.begin());
+      }
+      const HostAncestors& anc = dc.ancestors(host.id);
+      host_tag_mask_[host.id] = mask;
+      rack_tag_mask_[anc.rack] |= mask;
+      pod_tag_mask_[anc.pod] |= mask;
+      site_tag_mask_[anc.site] |= mask;
+    }
+  }
+  m_rebuilds.inc();
+}
+
+void PruneLabels::on_host_update(HostId h, const topo::Resources& free) {
+  static util::metrics::Counter& m_refreshes =
+      util::metrics::counter("labels.refreshes");
+  m_refreshes.inc();
+  const std::uint8_t now = is_feasible(free) ? 1 : 0;
+  if (host_feasible_[h] == now) return;
+  host_feasible_[h] = now;
+  const HostAncestors& anc = dc_->ancestors(h);
+
+  // Host-count aggregates move unconditionally on a flip; the pair/cascade
+  // counters below only change on a boundary crossing (>= 2 for the pair
+  // counters, >= 1 to cascade feasibility one level up).
+  pod_feasible_hosts_[anc.pod] += now ? 1U : -1U;
+  site_feasible_hosts_[anc.site] += now ? 1U : -1U;
+
+  std::uint32_t& rf = rack_feasible_hosts_[anc.rack];
+  const std::uint32_t rf_old = rf;
+  rf = now ? rf + 1 : rf - 1;
+  if (rf_old < 2 && rf >= 2) ++racks_multi_feasible_;
+  if (rf_old >= 2 && rf < 2) --racks_multi_feasible_;
+  if ((rf_old >= 1) == (rf >= 1)) return;
+
+  std::uint32_t& pr = pod_feasible_racks_[anc.pod];
+  const std::uint32_t pr_old = pr;
+  pr = (rf >= 1) ? pr + 1 : pr - 1;
+  if (pr_old < 2 && pr >= 2) ++pods_multi_feasible_racks_;
+  if (pr_old >= 2 && pr < 2) --pods_multi_feasible_racks_;
+  if ((pr_old >= 1) == (pr >= 1)) return;
+
+  std::uint32_t& sp = site_feasible_pods_[anc.site];
+  const std::uint32_t sp_old = sp;
+  sp = (pr >= 1) ? sp + 1 : sp - 1;
+  if (sp_old < 2 && sp >= 2) ++sites_multi_feasible_pods_;
+  if (sp_old >= 2 && sp < 2) --sites_multi_feasible_pods_;
+}
+
+Scope PruneLabels::tighten_separation(Scope scope, bool both_positive) const {
+  if (dc_ == nullptr) return scope;
+  static util::metrics::Counter& m_escalations =
+      util::metrics::counter("heuristic.separation_escalations");
+  const Scope entry = scope;
+  // Chained ladder: each escalation re-tests at the next level, so a data
+  // center with no multi-host rack AND no multi-rack pod sends a same-rack
+  // pipe straight to same-site pricing.
+  if (scope == Scope::kSameRack &&
+      (static_multi_host_racks_ == 0 ||
+       (both_positive && racks_multi_feasible_ == 0))) {
+    scope = Scope::kSamePod;
+  }
+  if (scope == Scope::kSamePod &&
+      (static_multi_rack_pods_ == 0 ||
+       (both_positive && pods_multi_feasible_racks_ == 0))) {
+    scope = Scope::kSameSite;
+  }
+  if (scope == Scope::kSameSite &&
+      (static_multi_pod_sites_ == 0 ||
+       (both_positive && sites_multi_feasible_pods_ == 0))) {
+    scope = Scope::kCrossSite;
+  }
+  if (scope != entry) m_escalations.inc();
+  return scope;
+}
+
+Scope PruneLabels::tighten_to_host(Scope scope, HostId host,
+                                   const topo::Resources& req, bool positive,
+                                   double bw_mbps,
+                                   const FeasibilityIndex& index) const {
+  if (dc_ == nullptr || scope == Scope::kSameHost || scope >= Scope::kCrossSite)
+    return scope;
+  static util::metrics::Counter& m_escalations =
+      util::metrics::counter("heuristic.host_escalations");
+  const Scope entry = scope;
+  const HostAncestors& anc = dc_->ancestors(host);
+
+  // At each level: the free endpoint needs a host in the subtree that (a)
+  // exists and is distinct from `host`, (b) can fit it (max_free is an
+  // upper bound on any member host), and whose uplink can carry the pipe.
+  // When `positive`, a compute-feasible host distinct from `host` must
+  // exist too — the labels' own counts, not the index's all-dimensions
+  // feasible_hosts, so the over-approximation stays predicate-consistent
+  // for zero-disk nodes (subtracting the inner unit's count isolates
+  // "outside the smaller scope" hosts; at rack level `host` itself is the
+  // only insider).
+  if (scope == Scope::kSameRack) {
+    const FeasibilityIndex::Aggregate& rack = index.rack(anc.rack);
+    const std::uint32_t inner =
+        host_feasible_[host] != 0 ? 1U : 0U;
+    if (rack.host_count <= 1 || !req.fits_within(rack.max_free) ||
+        (positive && rack_feasible_hosts_[anc.rack] <= inner) ||
+        bw_mbps > rack.max_free_uplink_mbps + kBandwidthEps) {
+      scope = Scope::kSamePod;
+    }
+  }
+  if (scope == Scope::kSamePod) {
+    const FeasibilityIndex::Aggregate& pod = index.pod(anc.pod);
+    const FeasibilityIndex::Aggregate& rack = index.rack(anc.rack);
+    if (pod.host_count <= rack.host_count || !req.fits_within(pod.max_free) ||
+        (positive &&
+         pod_feasible_hosts_[anc.pod] <= rack_feasible_hosts_[anc.rack]) ||
+        bw_mbps > pod.max_free_uplink_mbps + kBandwidthEps) {
+      scope = Scope::kSameSite;
+    }
+  }
+  if (scope == Scope::kSameSite) {
+    const FeasibilityIndex::Aggregate& site = index.site(anc.site);
+    const FeasibilityIndex::Aggregate& pod = index.pod(anc.pod);
+    if (site.host_count <= pod.host_count || !req.fits_within(site.max_free) ||
+        (positive &&
+         site_feasible_hosts_[anc.site] <= pod_feasible_hosts_[anc.pod]) ||
+        bw_mbps > site.max_free_uplink_mbps + kBandwidthEps) {
+      scope = Scope::kCrossSite;
+    }
+  }
+  if (scope != entry) m_escalations.inc();
+  return scope;
+}
+
+std::uint64_t PruneLabels::required_tag_mask(
+    const std::vector<std::string>& required) const noexcept {
+  std::uint64_t mask = 0;
+  for (const std::string& tag : required) {
+    const auto it = std::lower_bound(tag_names_.begin(), tag_names_.end(), tag);
+    if (it == tag_names_.end() || *it != tag) return ~0ULL;  // no host has it
+    mask |= 1ULL << static_cast<std::uint64_t>(it - tag_names_.begin());
+  }
+  return mask;
+}
+
+bool PruneLabels::selfcheck(const FeasibilityIndex& index) const {
+  if (dc_ == nullptr) return true;
+  PruneLabels fresh;
+  fresh.rebuild(*dc_, index);
+  return *this == fresh;
+}
+
+}  // namespace ostro::dc

@@ -1,0 +1,185 @@
+// Precomputed subtree pruning labels (DESIGN.md section 12): O(1)
+// admissible-bound tighteners and tag-reachability bitmaps derived from the
+// data-center tree plus the FeasibilityIndex.
+//
+// Three label families, all refreshed by the same O(depth) per-commit hook
+// that keeps the FeasibilityIndex current (Occupancy::index_host):
+//
+//   * Separation-feasibility counters.  For each level of T_p, how many
+//     units can still host a *pair* of nodes separated exactly at that
+//     level: racks with >= 2 feasible hosts, pods with >= 2 racks each
+//     holding a feasible host, sites with >= 2 pods each holding a feasible
+//     host.  "Feasible" here is deliberately weaker than the
+//     FeasibilityIndex predicate: strictly positive free *compute* (vcpus
+//     and mem_gb), ignoring disk.  The counters are used only to conclude
+//     impossibility ("zero units left"), so they must OVER-approximate the
+//     hosts that could receive a node — and a disk-exhausted host can still
+//     receive a zero-disk VM, the common case in the paper's workloads.
+//     Requests that need compute can never land on a compute-exhausted
+//     host, so a zero counter rules out every completion.  When a counter
+//     is zero, no completion of any plan can realize that separation —
+//     every host that receives a node in a feasible completion must have
+//     been feasible in the base state, because plans only consume capacity
+//     on top of it — so the admissible bound may price the pipe at the next
+//     level up.  Static floors (racks with >= 2 hosts, ...) give the same
+//     escalation independent of occupancy for compute-free nodes (volumes).
+//
+//   * Host-anchored climb labels.  For a pipe between a placed node and a
+//     free one, the FeasibilityIndex aggregates along the placed host's
+//     ancestor chain bound what any completion can do below each level:
+//     when the free node cannot fit / find a distinct feasible host / carry
+//     its bandwidth inside the rack, the pipe costs at least same-pod hops,
+//     and so on up the chain.
+//
+//   * Tag-reachability bitmaps.  Hardware tags are immutable, so each
+//     distinct tag gets one bit (up to 64; more disables this family) and
+//     every subtree caches the OR of its hosts' masks.  Candidate descent
+//     skips a subtree whose mask lacks a required bit — no host below can
+//     pass the per-host tag check.
+//
+// Every tightening is a *lower bound* argument: escalating a pipe's scope
+// never exceeds the cost of any feasible completion, so BA*/DBA* remain
+// admissible (bit-identical optima) while expanding fewer states.  The
+// counters are maintained against the BASE occupancy only; search overlays
+// (PartialPlacement, OccupancyDelta) never mutate it mid-plan, so during
+// one search the tighteners are a fixed monotone function of the entry
+// scope — exactly what the lazy-priority invariant of the open queue needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datacenter/datacenter.h"
+#include "datacenter/feasibility_index.h"
+#include "topology/resources.h"
+
+namespace ostro::dc {
+
+class PruneLabels {
+ public:
+  PruneLabels() = default;
+
+  /// Derives every label from scratch.  `index` must already describe the
+  /// same occupancy state this object will be maintained against; the
+  /// DataCenter reference must outlive the labels.
+  void rebuild(const DataCenter& dc, const FeasibilityIndex& index);
+
+  /// Incremental refresh: host `h` now has `free` resources.  O(depth) —
+  /// counters only move when the host crosses a feasibility boundary, and
+  /// each level's update is O(1).  Called by Occupancy::index_host right
+  /// next to FeasibilityIndex::set_host_free.  Uplink changes need no hook:
+  /// the climb reads uplink headroom straight from the index.
+  void on_host_update(HostId h, const topo::Resources& free);
+
+  // ---- admissible-bound queries (all O(1) / O(depth <= 3)) ----
+
+  /// Escalates the scope of a pipe between two *free* nodes as far as the
+  /// separation-feasibility counters allow: if no rack can hold two
+  /// distinct (feasible, when `both_positive`) hosts, same-rack becomes
+  /// same-pod, and so on up the ladder.  Monotone in `scope`; identity for
+  /// kSameHost/kCrossSite.  `both_positive` must be true only when both
+  /// endpoints require compute (vcpus and mem_gb > 0) — such nodes can
+  /// never land on a compute-exhausted host, so the counters bound their
+  /// placements; volumes fit on compute-exhausted hosts, which only the
+  /// static floors exclude.
+  [[nodiscard]] Scope tighten_separation(Scope scope, bool both_positive) const;
+
+  /// Escalates the scope of a pipe between a free node (requirements
+  /// `req`, `positive` iff it requires compute — vcpus and mem_gb > 0 —
+  /// pipe bandwidth `bw_mbps`) and a node already placed on `host`, by
+  /// climbing the host's ancestor chain: a level that cannot fit the free
+  /// node (index max_free), offer it a feasible host distinct from `host`'s
+  /// subtree usage (the labels' own compute-feasible counts), or carry
+  /// `bw_mbps` on any member uplink pushes the pipe one level up.
+  /// Monotone in `scope`; identity for kSameHost (co-location is priced by
+  /// the caller's capacity check, not by the labels).
+  [[nodiscard]] Scope tighten_to_host(Scope scope, HostId host,
+                                      const topo::Resources& req,
+                                      bool positive, double bw_mbps,
+                                      const FeasibilityIndex& index) const;
+
+  // ---- tag-reachability bitmaps ----
+
+  /// True when every distinct hardware tag got a bit (<= 64 tags in the
+  /// data center).  When false the bitmap family is disabled and callers
+  /// must fall back to per-host tag checks alone.
+  [[nodiscard]] bool tags_indexable() const noexcept {
+    return dc_ != nullptr && !tag_overflow_;
+  }
+
+  /// Bitmask of `required` over the tag registry.  A required tag carried
+  /// by no host in the data center yields the all-ones mask, which no
+  /// subtree mask can cover — the caller then prunes everything, matching
+  /// the per-host check that would reject every host.
+  [[nodiscard]] std::uint64_t required_tag_mask(
+      const std::vector<std::string>& required) const noexcept;
+
+  [[nodiscard]] std::uint64_t host_tag_mask(HostId h) const noexcept {
+    return host_tag_mask_[h];
+  }
+  [[nodiscard]] std::uint64_t rack_tag_mask(std::uint32_t r) const noexcept {
+    return rack_tag_mask_[r];
+  }
+  [[nodiscard]] std::uint64_t pod_tag_mask(std::uint32_t p) const noexcept {
+    return pod_tag_mask_[p];
+  }
+  [[nodiscard]] std::uint64_t site_tag_mask(std::uint32_t s) const noexcept {
+    return site_tag_mask_[s];
+  }
+
+  // ---- counter accessors (tests, metrics) ----
+  [[nodiscard]] std::uint32_t racks_with_multi_feasible() const noexcept {
+    return racks_multi_feasible_;
+  }
+  [[nodiscard]] std::uint32_t pods_with_multi_feasible_racks() const noexcept {
+    return pods_multi_feasible_racks_;
+  }
+  [[nodiscard]] std::uint32_t sites_with_multi_feasible_pods() const noexcept {
+    return sites_multi_feasible_pods_;
+  }
+  [[nodiscard]] std::uint32_t static_multi_host_racks() const noexcept {
+    return static_multi_host_racks_;
+  }
+  [[nodiscard]] std::uint32_t static_multi_rack_pods() const noexcept {
+    return static_multi_rack_pods_;
+  }
+  [[nodiscard]] std::uint32_t static_multi_pod_sites() const noexcept {
+    return static_multi_pod_sites_;
+  }
+
+  /// True when every counter equals a from-scratch rebuild against `index`
+  /// — the invariant on_host_update must preserve.  Test hook; O(hosts).
+  [[nodiscard]] bool selfcheck(const FeasibilityIndex& index) const;
+
+  friend bool operator==(const PruneLabels&, const PruneLabels&) = default;
+
+ private:
+  const DataCenter* dc_ = nullptr;
+
+  // Dynamic separation-feasibility state, maintained by on_host_update.
+  std::vector<std::uint8_t> host_feasible_;
+  std::vector<std::uint32_t> rack_feasible_hosts_;
+  std::vector<std::uint32_t> pod_feasible_hosts_;
+  std::vector<std::uint32_t> site_feasible_hosts_;
+  std::vector<std::uint32_t> pod_feasible_racks_;
+  std::vector<std::uint32_t> site_feasible_pods_;
+  std::uint32_t racks_multi_feasible_ = 0;    ///< racks with >= 2 feasible hosts
+  std::uint32_t pods_multi_feasible_racks_ = 0;   ///< pods, >= 2 feasible racks
+  std::uint32_t sites_multi_feasible_pods_ = 0;   ///< sites, >= 2 feasible pods
+
+  // Static floors (topology only, never refreshed).
+  std::uint32_t static_multi_host_racks_ = 0;
+  std::uint32_t static_multi_rack_pods_ = 0;
+  std::uint32_t static_multi_pod_sites_ = 0;
+
+  // Tag registry (immutable after rebuild).
+  std::vector<std::string> tag_names_;  ///< sorted; index = bit position
+  bool tag_overflow_ = false;
+  std::vector<std::uint64_t> host_tag_mask_;
+  std::vector<std::uint64_t> rack_tag_mask_;
+  std::vector<std::uint64_t> pod_tag_mask_;
+  std::vector<std::uint64_t> site_tag_mask_;
+};
+
+}  // namespace ostro::dc

@@ -73,6 +73,10 @@ class StampedSet64 {
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept;
   void clear() noexcept;
   void reserve(std::size_t expected);
+  /// Test hook: jumps the current epoch so wraparound regression tests can
+  /// exercise the overflow guard in clear() without ~4 billion iterations.
+  /// Entries written under earlier epochs read as absent afterwards.
+  void debug_force_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity_bytes() const noexcept {
     return keys_.capacity() * sizeof(std::uint64_t) +
@@ -187,6 +191,11 @@ class FlatMap64 {
     dense_.clear();
     size_ = 0;
   }
+
+  /// Test hook: jumps the current epoch so wraparound regression tests can
+  /// exercise the overflow guard in clear() without ~4 billion iterations.
+  /// Entries written under earlier epochs read as absent afterwards.
+  void debug_force_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
 
   /// Sizes the table for `expected` entries at <= 50% load.
   void reserve(std::size_t expected) {

@@ -1,0 +1,106 @@
+// Forced epoch-wraparound regression tests for the epoch-stamped
+// containers (util/arena.h).  Both StampedSet64 and FlatMap64 implement
+// clear() as an epoch bump; when the 32-bit epoch overflows, the guard must
+// scrub every stale stamp and restart at epoch 1 — otherwise entries
+// written ~4 billion clears ago would alias the restarted epoch and read
+// as present.  debug_force_epoch() jumps straight to the overflow edge so
+// the guard runs in a unit test.  Tables are reserved up front: grow()
+// also resets the epoch, which would bypass the code path under test.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace ostro::util {
+namespace {
+
+TEST(StampedSet64Test, EpochWrapScrubsStaleStamps) {
+  StampedSet64 set;
+  set.reserve(16);
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_TRUE(set.insert(2));
+  EXPECT_TRUE(set.insert(3));
+  ASSERT_TRUE(set.contains(2));
+
+  // The entries above are stamped with epoch 1.  Jump to the last epoch
+  // and clear: the wrap restarts at epoch 1 — exactly the value of the
+  // stale stamps, which only the scrub keeps from reading as current.
+  set.debug_force_epoch(0xFFFFFFFFU);
+  set.clear();
+  EXPECT_EQ(set.size(), 0U);
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+
+  // The set keeps working after the wrap.
+  EXPECT_TRUE(set.insert(2));
+  EXPECT_FALSE(set.insert(2));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(1));
+  set.clear();  // ordinary post-wrap clear (epoch 1 -> 2)
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_TRUE(set.insert(2));
+}
+
+TEST(StampedSet64Test, RepeatedForcedWrapsStayConsistent) {
+  StampedSet64 set;
+  set.reserve(16);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      EXPECT_TRUE(set.insert(k * 1000 + static_cast<std::uint64_t>(round)));
+    }
+    EXPECT_EQ(set.size(), 8U);
+    set.debug_force_epoch(0xFFFFFFFFU);
+    set.clear();
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      EXPECT_FALSE(set.contains(k * 1000 + static_cast<std::uint64_t>(round)));
+    }
+  }
+}
+
+TEST(FlatMap64Test, EpochWrapScrubsStaleSlots) {
+  FlatMap64<int> map;
+  map.reserve(16);
+  EXPECT_TRUE(map.insert_if_absent(1, 10));
+  EXPECT_TRUE(map.insert_if_absent(2, 20));
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), 10);
+
+  // Same aliasing hazard as the set: slots stamped (epoch 1) must not
+  // resurface when the wrapped clear restarts the epoch at 1.
+  map.debug_force_epoch(0xFFFFFFFFU);
+  map.clear();
+  EXPECT_EQ(map.size(), 0U);
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_EQ(map.find(2), nullptr);
+
+  EXPECT_TRUE(map.insert_if_absent(2, 99));
+  ASSERT_NE(map.find(2), nullptr);
+  EXPECT_EQ(*map.find(2), 99);
+  std::vector<std::pair<std::uint64_t, int>> seen;
+  map.for_each([&](std::uint64_t key, int value) {
+    seen.emplace_back(key, value);
+  });
+  ASSERT_EQ(seen.size(), 1U);
+  EXPECT_EQ(seen[0].first, 2U);
+  EXPECT_EQ(seen[0].second, 99);
+}
+
+TEST(FlatMap64Test, GetOrInsertAfterForcedWrapTreatsSlotsAsEmpty) {
+  FlatMap64<double> map;
+  map.reserve(16);
+  bool inserted = false;
+  map.get_or_insert(7, inserted) = 1.5;
+  EXPECT_TRUE(inserted);
+  map.debug_force_epoch(0xFFFFFFFFU);
+  map.clear();
+  map.get_or_insert(7, inserted) = 2.5;
+  EXPECT_TRUE(inserted);  // pre-wrap slot must not be found
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 2.5);
+}
+
+}  // namespace
+}  // namespace ostro::util

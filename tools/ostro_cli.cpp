@@ -69,6 +69,13 @@ dc::Occupancy load_occupancy(const dc::DataCenter& datacenter,
   return dc::occupancy_from_text(datacenter, read_file(path));
 }
 
+[[nodiscard]] bool parse_on_off(const std::string& value, const char* flag) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw std::invalid_argument(std::string("--") + flag +
+                              " must be on|off, got " + value);
+}
+
 /// --service-threads N: places N copies of the stack concurrently through
 /// core::PlacementService — a smoke/demo mode for the optimistic
 /// snapshot/plan/validate-commit protocol.  Reports per-request outcomes
@@ -88,6 +95,8 @@ int cmd_place_service(util::ArgParser& args, int threads) {
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
   config.search_core = core::parse_search_core(args.get_string("search-core"));
+  config.use_prune_labels =
+      parse_on_off(args.get_string("use-prune-labels"), "use-prune-labels");
   const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
 
   core::OstroScheduler scheduler(datacenter, config);
@@ -151,6 +160,8 @@ int cmd_place(util::ArgParser& args) {
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
   config.search_core = core::parse_search_core(args.get_string("search-core"));
+  config.use_prune_labels =
+      parse_on_off(args.get_string("use-prune-labels"), "use-prune-labels");
   const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
 
   const core::Placement placement = core::place_topology(
@@ -236,6 +247,8 @@ int cmd_serve(util::ArgParser& args) {
   config.deadline_seconds = args.get_double("deadline");
   config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
   config.search_core = core::parse_search_core(args.get_string("search-core"));
+  config.use_prune_labels =
+      parse_on_off(args.get_string("use-prune-labels"), "use-prune-labels");
   const auto default_algorithm =
       core::parse_algorithm(args.get_string("algorithm"));
 
@@ -477,6 +490,10 @@ int main(int argc, char** argv) {
     args.add_string("search-core", "pooled",
                     "BA*/DBA* memory model: pooled (per-thread arena, "
                     "bit-identical) | reference (original containers)");
+    args.add_string("use-prune-labels", "on",
+                    "precomputed subtree pruning labels for the admissible "
+                    "bounds: on (bit-identical, fewer expansions) | off "
+                    "(reference bounds)");
     args.add_double("deadline", 0.0, "DBA* deadline (seconds)");
     args.add_double("theta-bw", 0.6, "bandwidth objective weight");
     args.add_double("theta-c", 0.4, "host-count objective weight");
