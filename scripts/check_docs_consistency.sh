@@ -8,6 +8,11 @@
 #   2. Every metrics counter/summary registered in src/ or tools/ — the
 #      README metrics glossary documents each name.  bench/-local metrics
 #      (bench.*) are out of scope: they are bench implementation detail.
+#   3. Every field of core::DefragConfig (src/core/defrag.h) and
+#      sim::LifecycleConfig (src/sim/lifecycle.h) — the lifecycle &
+#      defragmentation docs document each knob.
+#   4. Every flag bench_lifecycle declares itself (beyond the common bench
+#      flags) — the README lifecycle section lists them.
 #
 # Exits non-zero listing every undocumented token, so a PR adding a config
 # knob or a counter without documenting it fails CI.
@@ -34,6 +39,35 @@ if [[ -z "$config_fields" ]]; then
 fi
 for field in $config_fields; do
   check "SearchConfig field" "$field"
+done
+
+struct_fields() {
+  local file="$1" name="$2"
+  sed -n "/^struct $name {/,/^};/p" "$file" |
+    grep -E '^\s+[A-Za-z_][A-Za-z0-9_:]*\s+[a-z_][a-z0-9_]*\s*(=|;)' |
+    sed -E 's/^\s*\S+\s+([a-z_][a-z0-9_]*)\s*(=|;).*/\1/' | sort -u
+}
+
+for spec in "src/core/defrag.h DefragConfig" "src/sim/lifecycle.h LifecycleConfig"; do
+  read -r file name <<<"$spec"
+  fields=$(struct_fields "$file" "$name")
+  if [[ -z "$fields" ]]; then
+    echo "extraction failure: no $name fields found in $file" >&2
+    exit 1
+  fi
+  for field in $fields; do
+    check "$name field" "$field"
+  done
+done
+
+bench_flags=$(grep -hoE 'args\.add_(int|double|flag)\("[a-z-]+"' \
+    bench/bench_lifecycle.cpp | sed -E 's/.*\("([a-z-]+)".*/\1/' | sort -u)
+if [[ -z "$bench_flags" ]]; then
+  echo "extraction failure: no flags found in bench/bench_lifecycle.cpp" >&2
+  exit 1
+fi
+for flag in $bench_flags; do
+  check "bench_lifecycle flag" "--$flag"
 done
 
 metric_names=$(grep -rhoE '(counter|summary)\("[a-z_.]+"\)' src tools |

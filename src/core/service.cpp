@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/verify.h"
+#include "datacenter/state_delta.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -165,6 +166,178 @@ std::size_t PlacementService::try_commit_batch(
     member.commit_epoch = scheduler_->occupancy().version();
     ++committed;
   }
+  return committed;
+}
+
+bool PlacementService::release_stack(StackRegistry& registry, StackId id,
+                                     bool deactivate_emptied,
+                                     std::uint64_t* commit_epoch,
+                                     DeployedStack* released) {
+  static util::metrics::Counter& m_releases =
+      util::metrics::counter("service.stack_releases");
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Look up first, remove only after the release succeeded: a throwing
+  // release (which would mean corrupted accounting) must not silently drop
+  // the registry record.  No one can interleave between the two steps —
+  // every lifecycle mutation holds this writer lock.
+  std::optional<DeployedStack> stack = registry.get(id);
+  if (!stack.has_value()) return false;  // double-release guard
+  net::release_placement(scheduler_->occupancy(), *stack->topology,
+                         stack->assignment, deactivate_emptied);
+  (void)registry.remove(id);
+  if (commit_epoch != nullptr) {
+    *commit_epoch = scheduler_->occupancy().version();
+  }
+  if (released != nullptr) *released = std::move(*stack);
+  m_releases.inc();
+  return true;
+}
+
+topo::Resources PlacementService::fail_host(StackRegistry& registry,
+                                            dc::HostId host,
+                                            std::size_t* stacks_killed,
+                                            std::uint64_t* commit_epoch) {
+  static util::metrics::Counter& m_failures =
+      util::metrics::counter("service.host_failures");
+  static util::metrics::Counter& m_evictions =
+      util::metrics::counter("service.failure_evictions");
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  dc::Occupancy& occupancy = scheduler_->occupancy();
+  // Kill every resident stack outright (the paper's stacks have no
+  // per-node restart story; the lifecycle simulator re-submits them as
+  // fresh arrivals when configured to).
+  std::size_t killed = 0;
+  for (const StackId id : registry.stacks_on_host(host)) {
+    std::optional<DeployedStack> stack = registry.get(id);
+    if (!stack.has_value()) continue;
+    net::release_placement(occupancy, *stack->topology, stack->assignment,
+                           /*deactivate_emptied=*/true);
+    (void)registry.remove(id);
+    ++killed;
+  }
+  // Quarantine: consume all remaining free capacity so no plan, however
+  // stale its snapshot, can pass the commit-gate re-validation with a node
+  // on this host while it is down.
+  const topo::Resources quarantine = occupancy.available(host);
+  occupancy.add_host_load(host, quarantine);
+  if (stacks_killed != nullptr) *stacks_killed = killed;
+  if (commit_epoch != nullptr) *commit_epoch = occupancy.version();
+  m_failures.inc();
+  m_evictions.add(killed);
+  return quarantine;
+}
+
+void PlacementService::repair_host(dc::HostId host,
+                                   const topo::Resources& quarantine,
+                                   std::uint64_t* commit_epoch) {
+  static util::metrics::Counter& m_repairs =
+      util::metrics::counter("service.host_repairs");
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  dc::Occupancy& occupancy = scheduler_->occupancy();
+  occupancy.remove_host_load(host, quarantine);
+  occupancy.deactivate_if_idle(host);
+  if (commit_epoch != nullptr) *commit_epoch = occupancy.version();
+  m_repairs.inc();
+}
+
+std::size_t PlacementService::try_commit_migration(
+    MigrationBatch& batch, StackRegistry& registry,
+    std::uint64_t* commit_epoch) {
+  static util::metrics::Counter& m_batches =
+      util::metrics::counter("service.migration_batches");
+  static util::metrics::Counter& m_moves =
+      util::metrics::counter("service.migration_moves");
+  static util::metrics::Counter& m_conflicts =
+      util::metrics::counter("service.migration_conflicts");
+  static util::metrics::Summary& m_commit_wait =
+      util::metrics::summary("service.commit_wait_seconds");
+
+  util::WallTimer wait_timer;
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  m_commit_wait.observe(wait_timer.elapsed_seconds());
+  m_batches.inc();
+
+  dc::Occupancy& occupancy = scheduler_->occupancy();
+  const dc::DataCenter& datacenter = occupancy.datacenter();
+  std::size_t committed = 0;
+  std::uint64_t epoch = 0;
+  for (MigrationMember& member : batch.members) {
+    member.outcome = CommitOutcome::kConflict;
+    if (member.topology == nullptr ||
+        member.from.size() != member.topology->node_count() ||
+        member.to.size() != member.topology->node_count()) {
+      member.outcome = CommitOutcome::kRejected;
+      continue;
+    }
+    // The migration's epoch gate: the stack must still be live with the
+    // exact assignment the plan moved from.  A racing departure, failure
+    // eviction, or competing migration invalidates the member, never the
+    // batch.
+    const std::optional<DeployedStack> live = registry.get(member.stack_id);
+    if (!live.has_value() || live->assignment != member.from) {
+      m_conflicts.inc();
+      continue;
+    }
+    // Structural constraints of the target are occupancy-independent and
+    // deterministic — a violation can never commit, so it rejects.
+    if (!verify_assignment_structure(datacenter, *member.topology, member.to)
+             .empty()) {
+      member.outcome = CommitOutcome::kRejected;
+      continue;
+    }
+    // Capacity and bandwidth are validated by staging the relocation in one
+    // delta: each moved node releases its old load/paths before (in op
+    // order) its new ones are reserved, so the member's own resources are
+    // netted — the reason verify_placement (which charges the new demand on
+    // top of the still-occupied old spots) cannot gate migrations.
+    dc::OccupancyDelta delta(occupancy);
+    net::Assignment working = member.from;
+    bool feasible = true;
+    try {
+      for (topo::NodeId n = 0; n < member.topology->node_count(); ++n) {
+        if (working[n] == member.to[n]) continue;
+        const topo::Node& node = member.topology->node(n);
+        delta.remove_host_load(working[n], node.requirements);
+        delta.add_host_load(member.to[n], node.requirements);
+        for (const topo::Neighbor& nb : member.topology->neighbors(n)) {
+          const dc::PathLinks old_path =
+              datacenter.path_between(working[n], working[nb.node]);
+          for (const dc::LinkId link : old_path) {
+            delta.release_link(link, nb.bandwidth_mbps);
+          }
+          const dc::PathLinks new_path =
+              datacenter.path_between(member.to[n], working[nb.node]);
+          for (const dc::LinkId link : new_path) {
+            delta.reserve_link(link, nb.bandwidth_mbps);
+          }
+        }
+        working[n] = member.to[n];
+      }
+      occupancy.apply_delta(delta);
+    } catch (const std::exception&) {
+      feasible = false;  // target no longer fits: the delta never flushed
+    }
+    if (!feasible) {
+      m_conflicts.inc();
+      continue;
+    }
+    std::size_t moved = 0;
+    for (topo::NodeId n = 0; n < member.topology->node_count(); ++n) {
+      if (member.from[n] != member.to[n]) {
+        occupancy.deactivate_if_idle(member.from[n]);
+        ++moved;
+      }
+    }
+    // Cannot fail: the stack was re-checked above and nothing can
+    // interleave under the writer lock.
+    (void)registry.update_assignment(member.stack_id, member.from,
+                                     member.to);
+    member.outcome = CommitOutcome::kCommitted;
+    epoch = occupancy.version();
+    ++committed;
+    m_moves.add(moved);
+  }
+  if (commit_epoch != nullptr) *commit_epoch = epoch;
   return committed;
 }
 

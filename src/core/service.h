@@ -34,11 +34,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/scheduler.h"
+#include "core/stack_registry.h"
 
 namespace ostro::core {
 
@@ -161,6 +164,77 @@ class PlacementService {
   ServiceResult place_with(const topo::AppTopology& topology,
                            Algorithm algorithm, const SearchConfig& config,
                            const Committer& committer);
+
+  // ---- lifecycle entry points (departures, failures, migrations) ----
+  //
+  // Each runs entirely under the writer lock and sequences its occupancy
+  // mutation with the paired StackRegistry update, so planners snapshotting
+  // through this service never observe a stack whose resources are released
+  // but whose registry record survives (or vice versa).  Lock order is
+  // service-writer-lock -> registry-mutex, matching try_commit_migration.
+
+  /// Releases a deployed stack: removes it from `registry` and releases its
+  /// host loads and pipe bandwidth in one atomic batch
+  /// (net::release_placement).  Returns false when the stack is not (or no
+  /// longer) live — the double-release guard.  `commit_epoch` (when
+  /// non-null) receives the post-release occupancy epoch; `released` (when
+  /// non-null) receives the released record.
+  bool release_stack(StackRegistry& registry, StackId id,
+                     bool deactivate_emptied = true,
+                     std::uint64_t* commit_epoch = nullptr,
+                     DeployedStack* released = nullptr);
+
+  /// Kills every stack resident on `host` (releasing all their resources,
+  /// on every host they touch) and quarantines the host by consuming its
+  /// entire remaining free capacity, so no planner can land new nodes on it.
+  /// Returns the quarantined amount — pass it to repair_host to bring the
+  /// host back.  `stacks_killed` (when non-null) receives the number of
+  /// stacks released.
+  topo::Resources fail_host(StackRegistry& registry, dc::HostId host,
+                            std::size_t* stacks_killed = nullptr,
+                            std::uint64_t* commit_epoch = nullptr);
+
+  /// Reverses fail_host: releases the quarantine load and deactivates the
+  /// host when it ends up idle.
+  void repair_host(dc::HostId host, const topo::Resources& quarantine,
+                   std::uint64_t* commit_epoch = nullptr);
+
+  /// One planned stack relocation inside a MigrationBatch.  `from` must
+  /// equal the stack's live assignment at commit time or the member is
+  /// skipped as a conflict (a racing placement, departure, or migration
+  /// invalidated the plan).
+  struct MigrationMember {
+    StackId stack_id = 0;
+    std::shared_ptr<const topo::AppTopology> topology;
+    net::Assignment from;
+    net::Assignment to;
+    /// Filled by try_commit_migration.
+    CommitOutcome outcome = CommitOutcome::kConflict;
+  };
+
+  /// A bounded batch of relocations proposed by core::DefragPlanner.
+  struct MigrationBatch {
+    std::vector<MigrationMember> members;
+  };
+
+  /// Commits a migration batch under ONE writer-lock acquisition.  Per
+  /// member, in batch order: re-check the stack is live with the expected
+  /// assignment, re-validate the structural constraints of the target
+  /// assignment, stage the relocation (release old loads/paths, reserve new
+  /// ones) in one OccupancyDelta, flush it atomically, and swap the
+  /// registry assignment.  A member whose stack moved on or whose target no
+  /// longer fits becomes kConflict without disturbing the others —
+  /// migrations race live placements exactly like competing placements race
+  /// each other.  Capacity/bandwidth validation happens via the delta
+  /// (which nets each member's own released resources against its new
+  /// demand — verify_placement would double-count them), plus
+  /// verify_assignment_structure for tags/zones/affinities/latency.
+  /// Returns the number of members committed; `commit_epoch` (when
+  /// non-null) receives the epoch after the last committed member (0 when
+  /// none committed).
+  std::size_t try_commit_migration(MigrationBatch& batch,
+                                   StackRegistry& registry,
+                                   std::uint64_t* commit_epoch = nullptr);
 
   /// Test instrumentation: invoked after each planning attempt of
   /// place()/place_with(), before its commit gate, with no lock held.

@@ -1,0 +1,91 @@
+#include "core/stack_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ostro::core {
+
+void StackRegistry::add(StackId id,
+                        std::shared_ptr<const topo::AppTopology> topology,
+                        net::Assignment assignment) {
+  if (topology == nullptr) {
+    throw std::invalid_argument("StackRegistry::add: null topology");
+  }
+  if (assignment.size() != topology->node_count()) {
+    throw std::invalid_argument(
+        "StackRegistry::add: assignment size mismatch");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = stacks_.try_emplace(
+      id, DeployedStack{id, std::move(topology), std::move(assignment)});
+  if (!inserted) {
+    throw std::invalid_argument("StackRegistry::add: stack id already live");
+  }
+}
+
+std::optional<DeployedStack> StackRegistry::remove(StackId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stacks_.find(id);
+  if (it == stacks_.end()) return std::nullopt;
+  DeployedStack stack = std::move(it->second);
+  stacks_.erase(it);
+  return stack;
+}
+
+bool StackRegistry::update_assignment(StackId id,
+                                      const net::Assignment& expected,
+                                      net::Assignment next) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stacks_.find(id);
+  if (it == stacks_.end()) return false;
+  if (it->second.assignment != expected) return false;
+  if (next.size() != it->second.topology->node_count()) return false;
+  it->second.assignment = std::move(next);
+  return true;
+}
+
+std::optional<DeployedStack> StackRegistry::get(StackId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stacks_.find(id);
+  if (it == stacks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DeployedStack> StackRegistry::snapshot() const {
+  std::vector<DeployedStack> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(stacks_.size());
+    for (const auto& [id, stack] : stacks_) out.push_back(stack);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DeployedStack& a, const DeployedStack& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<StackId> StackRegistry::stacks_on_host(dc::HostId host) const {
+  std::vector<StackId> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, stack] : stacks_) {
+      for (const dc::HostId h : stack.assignment) {
+        if (h == host) {
+          out.push_back(id);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t StackRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stacks_.size();
+}
+
+}  // namespace ostro::core

@@ -6,11 +6,10 @@
 
 namespace ostro::core {
 
-std::vector<std::string> verify_placement(const dc::Occupancy& base,
-                                          const topo::AppTopology& topology,
-                                          const net::Assignment& assignment) {
+std::vector<std::string> verify_assignment_structure(
+    const dc::DataCenter& datacenter, const topo::AppTopology& topology,
+    const net::Assignment& assignment) {
   std::vector<std::string> violations;
-  const dc::DataCenter& datacenter = base.datacenter();
 
   if (assignment.size() != topology.node_count()) {
     violations.push_back(util::format(
@@ -25,39 +24,6 @@ std::vector<std::string> verify_placement(const dc::Occupancy& base,
     }
   }
   if (!violations.empty()) return violations;
-
-  // Host capacity: total requirements per host vs available-in-base.
-  std::unordered_map<dc::HostId, topo::Resources> per_host;
-  for (const auto& node : topology.nodes()) {
-    per_host[assignment[node.id]] += node.requirements;
-  }
-  for (const auto& [host, load] : per_host) {
-    const topo::Resources avail = base.available(host);
-    if (!load.fits_within(avail)) {
-      violations.push_back("host " + datacenter.host(host).name +
-                           " over capacity: needs " + load.to_string() +
-                           ", available " + avail.to_string());
-    }
-  }
-
-  // Pipe bandwidth: aggregated per physical link vs available-in-base.
-  std::unordered_map<dc::LinkId, double> per_link;
-  for (const auto& edge : topology.edges()) {
-    const dc::PathLinks path =
-        datacenter.path_between(assignment[edge.a], assignment[edge.b]);
-    for (const dc::LinkId link : path) {
-      per_link[link] += edge.bandwidth_mbps;
-    }
-  }
-  constexpr double kEps = 1e-6;
-  for (const auto& [link, mbps] : per_link) {
-    const double avail = base.link_available_mbps(link);
-    if (mbps > avail + kEps) {
-      violations.push_back(util::format(
-          "link %s over capacity: needs %.1f Mbps, available %.1f Mbps",
-          datacenter.link_name(link).c_str(), mbps, avail));
-    }
-  }
 
   // Hardware tags: every node on a host that carries its required tags.
   for (const auto& node : topology.nodes()) {
@@ -114,6 +80,57 @@ std::vector<std::string> verify_placement(const dc::Occupancy& base,
               std::string(topo::to_string(zone.level)) + " level");
         }
       }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> verify_placement(const dc::Occupancy& base,
+                                          const topo::AppTopology& topology,
+                                          const net::Assignment& assignment) {
+  const dc::DataCenter& datacenter = base.datacenter();
+
+  // Structure first (shape, tags, latency, affinities, zones).  Only a
+  // malformed shape returns early — the capacity sums below would index out
+  // of range; every other violation accumulates alongside them so the
+  // report lists everything wrong with the assignment at once.
+  std::vector<std::string> violations =
+      verify_assignment_structure(datacenter, topology, assignment);
+  if (assignment.size() != topology.node_count()) return violations;
+  for (const dc::HostId host : assignment) {
+    if (host >= datacenter.host_count()) return violations;
+  }
+
+  // Host capacity: total requirements per host vs available-in-base.
+  std::unordered_map<dc::HostId, topo::Resources> per_host;
+  for (const auto& node : topology.nodes()) {
+    per_host[assignment[node.id]] += node.requirements;
+  }
+  for (const auto& [host, load] : per_host) {
+    const topo::Resources avail = base.available(host);
+    if (!load.fits_within(avail)) {
+      violations.push_back("host " + datacenter.host(host).name +
+                           " over capacity: needs " + load.to_string() +
+                           ", available " + avail.to_string());
+    }
+  }
+
+  // Pipe bandwidth: aggregated per physical link vs available-in-base.
+  std::unordered_map<dc::LinkId, double> per_link;
+  for (const auto& edge : topology.edges()) {
+    const dc::PathLinks path =
+        datacenter.path_between(assignment[edge.a], assignment[edge.b]);
+    for (const dc::LinkId link : path) {
+      per_link[link] += edge.bandwidth_mbps;
+    }
+  }
+  constexpr double kEps = 1e-6;
+  for (const auto& [link, mbps] : per_link) {
+    const double avail = base.link_available_mbps(link);
+    if (mbps > avail + kEps) {
+      violations.push_back(util::format(
+          "link %s over capacity: needs %.1f Mbps, available %.1f Mbps",
+          datacenter.link_name(link).c_str(), mbps, avail));
     }
   }
   return violations;

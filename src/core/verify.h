@@ -23,4 +23,16 @@ namespace ostro::core {
     const dc::Occupancy& base, const topo::AppTopology& topology,
     const net::Assignment& assignment);
 
+/// The occupancy-independent subset of verify_placement: shape (every node
+/// placed on a valid host), hardware tags, pipe latency budgets, affinity
+/// co-location, and diversity-zone separation.  These depend only on the
+/// data-center structure, so they hold no matter what else is placed —
+/// which is what migration planning needs: a relocated stack's capacity and
+/// bandwidth are validated via delta staging (its own old load must not
+/// double-count against it, so verify_placement would mis-reject), while
+/// the structural constraints are re-checked here.
+[[nodiscard]] std::vector<std::string> verify_assignment_structure(
+    const dc::DataCenter& datacenter, const topo::AppTopology& topology,
+    const net::Assignment& assignment);
+
 }  // namespace ostro::core

@@ -170,6 +170,18 @@ void Occupancy::set_active(HostId h, bool active) {
   }
 }
 
+bool Occupancy::deactivate_if_idle(HostId h) {
+  static util::metrics::Counter& m_deactivations =
+      util::metrics::counter("occupancy.host_deactivations");
+  check_host(h);
+  if (!active_[h] || !host_used_[h].is_zero()) return false;
+  active_[h] = false;
+  --active_count_;
+  ++version_;
+  m_deactivations.inc();
+  return true;
+}
+
 double Occupancy::total_reserved_mbps() const noexcept {
   double total = 0.0;
   for (double used : link_used_) total += used;

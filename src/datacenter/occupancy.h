@@ -69,6 +69,15 @@ class Occupancy {
   /// exact pre-transaction state).  Clearing does not touch the host's load.
   void set_active(HostId h, bool active);
 
+  /// Deactivates `h` iff it is active and carries zero tracked load, and
+  /// returns whether it did.  This is the release-path counterpart of the
+  /// sticky activation in add_host_load: departures and migrations call it
+  /// per vacated host so the u_c objective (count of non-idle hosts) stops
+  /// charging for hosts that emptied out.  Callers that model untracked
+  /// background tenants via mark_active must NOT call this — zero tracked
+  /// load does not mean idle for them.
+  bool deactivate_if_idle(HostId h);
+
   /// Flushes a delta staged against *this* occupancy in one batch, replaying
   /// its op log in staging order with the exact arithmetic of the direct
   /// mutations (bit-identical result).  Throws std::logic_error when the

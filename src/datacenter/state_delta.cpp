@@ -1,5 +1,6 @@
 #include "datacenter/state_delta.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/metrics.h"
@@ -40,7 +41,7 @@ void OccupancyDelta::add_host_load(HostId h, const topo::Resources& load) {
                                 " over capacity");
   }
   it->second.effective = next;
-  host_ops_.push_back({h, load});
+  host_ops_.push_back({h, load, false});
 }
 
 void OccupancyDelta::reserve_link(LinkId link, double mbps) {
@@ -61,7 +62,53 @@ void OccupancyDelta::reserve_link(LinkId link, double mbps) {
                                 " over capacity");
   }
   it->second.effective += mbps;
-  link_ops_.push_back({link, mbps});
+  link_ops_.push_back({link, mbps, false});
+}
+
+void OccupancyDelta::remove_host_load(HostId h, const topo::Resources& load) {
+  topo::require_nonnegative(load, "OccupancyDelta::remove_host_load");
+  auto [it, inserted] = host_state_.try_emplace(h);
+  if (inserted) {
+    it->second.initial = base_->used(h);  // validates h
+    it->second.effective = it->second.initial;
+  }
+  // Same running-value arithmetic, epsilon and clamping as
+  // Occupancy::remove_host_load, so staged acceptance (and the replayed
+  // result) matches a direct application bit for bit.
+  const topo::Resources next = it->second.effective - load;
+  constexpr double kEps = -1e-6;
+  if (next.vcpus < kEps || next.mem_gb < kEps || next.disk_gb < kEps) {
+    if (inserted) host_state_.erase(it);
+    throw std::invalid_argument(
+        "OccupancyDelta::remove_host_load: releasing more than used on " +
+        base_->datacenter().host(h).name);
+  }
+  it->second.effective = {std::max(0.0, next.vcpus),
+                          std::max(0.0, next.mem_gb),
+                          std::max(0.0, next.disk_gb)};
+  host_ops_.push_back({h, load, true});
+  has_releases_ = true;
+}
+
+void OccupancyDelta::release_link(LinkId link, double mbps) {
+  if (mbps < 0.0) {
+    throw std::invalid_argument(
+        "OccupancyDelta::release_link: negative amount");
+  }
+  auto [it, inserted] = link_state_.try_emplace(link);
+  if (inserted) {
+    it->second.initial = base_->link_used_mbps(link);  // validates link
+    it->second.effective = it->second.initial;
+  }
+  if (it->second.effective - mbps < -1e-6) {
+    if (inserted) link_state_.erase(it);
+    throw std::invalid_argument(
+        "OccupancyDelta::release_link: releasing more than reserved on " +
+        base_->datacenter().link_name(link));
+  }
+  it->second.effective = std::max(0.0, it->second.effective - mbps);
+  link_ops_.push_back({link, mbps, true});
+  has_releases_ = true;
 }
 
 void OccupancyDelta::clear() noexcept {
@@ -69,6 +116,7 @@ void OccupancyDelta::clear() noexcept {
   link_state_.clear();
   host_ops_.clear();
   link_ops_.clear();
+  has_releases_ = false;
 }
 
 void Occupancy::apply_delta(const OccupancyDelta& delta) {
@@ -103,17 +151,30 @@ void Occupancy::apply_delta(const OccupancyDelta& delta) {
     }
   }
   // Replay the op log in staging order with the exact arithmetic of
-  // add_host_load / reserve_link, so the result is bit-identical to a
-  // direct op-by-op application.
+  // add_host_load / reserve_link / remove_host_load / release_link, so the
+  // result is bit-identical to a direct op-by-op application.  Releases do
+  // not touch active flags, matching Occupancy::remove_host_load (the
+  // caller decides when an emptied host goes dark — deactivate_if_idle).
   for (const auto& op : delta.host_ops_) {
-    host_used_[op.host] = host_used_[op.host] + op.load;
-    if (!active_[op.host]) {
-      active_[op.host] = true;
-      ++active_count_;
+    if (op.release) {
+      const topo::Resources next = host_used_[op.host] - op.load;
+      host_used_[op.host] = {std::max(0.0, next.vcpus),
+                             std::max(0.0, next.mem_gb),
+                             std::max(0.0, next.disk_gb)};
+    } else {
+      host_used_[op.host] = host_used_[op.host] + op.load;
+      if (!active_[op.host]) {
+        active_[op.host] = true;
+        ++active_count_;
+      }
     }
   }
   for (const auto& op : delta.link_ops_) {
-    link_used_[op.link] += op.mbps;
+    if (op.release) {
+      link_used_[op.link] = std::max(0.0, link_used_[op.link] - op.mbps);
+    } else {
+      link_used_[op.link] += op.mbps;
+    }
   }
   // Refresh the feasibility index once per touched host/link (not per op):
   // the aggregates are a function of the final free values, so the result

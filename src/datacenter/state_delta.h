@@ -1,4 +1,4 @@
-// Copy-on-write occupancy overlay for tentative reservations.
+// Copy-on-write occupancy overlay for tentative reservations and releases.
 //
 // OccupancyDelta stages the mutations of a placement (host loads, link
 // bandwidth) on top of a const Occupancy base without touching it: every
@@ -14,6 +14,18 @@
 // release link by link (occupancy.link_reservations churn); with the delta
 // it never touches the base at all.  PlacementTransaction uses this as its
 // default staging mode.
+//
+// Since the lifecycle subsystem (departures, host repair, defragmentation
+// migrations) the delta also stages the *release* direction —
+// remove_host_load / release_link mirror Occupancy's release mutators with
+// the same validation and clamping arithmetic — so a whole departure or a
+// migration (release old host + old paths, add new host + new paths) flushes
+// as one atomic batch.  CAUTION: a delta holding release ops is no longer a
+// consume-only overlay, so the base FeasibilityIndex aggregates stop being
+// sound upper bounds for the overlay view (a release can make a subtree
+// feasible that the base index rejects).  Search overlays never stage
+// releases; callers that do (the release/migration paths) must not feed the
+// delta to index-pruned candidate generation — has_releases() tells.
 //
 // The delta snapshots base values on first touch; the base must not be
 // mutated between staging and apply_delta (apply_delta verifies the
@@ -62,6 +74,19 @@ class OccupancyDelta {
   /// Occupancy::reserve_link).
   void reserve_link(LinkId link, double mbps);
 
+  /// Stages a load release on host `h`; throws std::invalid_argument when
+  /// more than the staged running value would be released (same check,
+  /// epsilon and clamping as Occupancy::remove_host_load).  Marks the delta
+  /// as holding releases (see the header comment on index soundness).
+  void remove_host_load(HostId h, const topo::Resources& load);
+  /// Stages a bandwidth release; same check and clamping as
+  /// Occupancy::release_link.
+  void release_link(LinkId link, double mbps);
+
+  /// True when any release op was staged: the base feasibility aggregates
+  /// are then no longer sound upper bounds for this overlay view.
+  [[nodiscard]] bool has_releases() const noexcept { return has_releases_; }
+
   /// Discards everything staged; the delta is reusable.
   void clear() noexcept;
   [[nodiscard]] bool empty() const noexcept {
@@ -91,10 +116,12 @@ class OccupancyDelta {
   struct HostOp {
     HostId host;
     topo::Resources load;
+    bool release = false;  ///< remove_host_load instead of add_host_load
   };
   struct LinkOp {
     LinkId link;
     double mbps;
+    bool release = false;  ///< release_link instead of reserve_link
   };
 
   const Occupancy* base_;
@@ -102,6 +129,7 @@ class OccupancyDelta {
   std::unordered_map<LinkId, LinkState> link_state_;
   std::vector<HostOp> host_ops_;
   std::vector<LinkOp> link_ops_;
+  bool has_releases_ = false;
 };
 
 }  // namespace ostro::dc

@@ -145,6 +145,53 @@ void commit_placement(dc::Occupancy& occupancy,
   txn.commit();
 }
 
+void release_placement(dc::Occupancy& occupancy,
+                       const topo::AppTopology& topology,
+                       const Assignment& assignment,
+                       bool deactivate_emptied) {
+  static util::metrics::Counter& m_releases =
+      util::metrics::counter("reservation.releases");
+  static util::metrics::Counter& m_failures =
+      util::metrics::counter("reservation.release_failures");
+  static util::metrics::Summary& m_seconds =
+      util::metrics::summary("reservation.release_seconds");
+  const util::metrics::ScopedTimer phase_timer(m_seconds);
+  if (assignment.size() != topology.node_count()) {
+    m_failures.inc();
+    throw std::invalid_argument(
+        "release_placement: assignment size mismatch");
+  }
+  const dc::DataCenter& datacenter = occupancy.datacenter();
+  dc::OccupancyDelta delta(occupancy);
+  try {
+    for (const auto& node : topology.nodes()) {
+      const dc::HostId host = assignment[node.id];
+      if (host == dc::kInvalidHost || host >= datacenter.host_count()) {
+        throw std::invalid_argument("release_placement: node " + node.name +
+                                    " is unplaced");
+      }
+      delta.remove_host_load(host, node.requirements);
+    }
+    for (const auto& edge : topology.edges()) {
+      const dc::PathLinks path =
+          datacenter.path_between(assignment[edge.a], assignment[edge.b]);
+      for (const dc::LinkId link : path) {
+        delta.release_link(link, edge.bandwidth_mbps);
+      }
+    }
+    occupancy.apply_delta(delta);
+  } catch (...) {
+    m_failures.inc();
+    throw;
+  }
+  if (deactivate_emptied) {
+    for (const dc::HostId host : assignment) {
+      occupancy.deactivate_if_idle(host);  // idempotent per distinct host
+    }
+  }
+  m_releases.inc();
+}
+
 double reserved_bandwidth_mbps(const dc::DataCenter& dc,
                                const topo::AppTopology& topology,
                                const Assignment& assignment) {

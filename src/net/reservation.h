@@ -95,6 +95,20 @@ void commit_placement(dc::Occupancy& occupancy,
                       const topo::AppTopology& topology,
                       const Assignment& assignment);
 
+/// Inverse of commit_placement: releases every node's host load and every
+/// pipe's bandwidth along its physical path, staged in one OccupancyDelta
+/// and flushed atomically (one epoch bump).  Throws std::invalid_argument
+/// on a malformed assignment or when a release exceeds what is reserved
+/// (e.g. a double release); `occupancy` is untouched in that case.  When
+/// `deactivate_emptied` is set (the default), each distinct host in the
+/// assignment that ends up with zero tracked load is also deactivated
+/// (Occupancy::deactivate_if_idle) — pass false when hosts carry untracked
+/// background tenants modeled via mark_active.
+void release_placement(dc::Occupancy& occupancy,
+                       const topo::AppTopology& topology,
+                       const Assignment& assignment,
+                       bool deactivate_emptied = true);
+
 /// Bandwidth the placement reserves on physical links, i.e. the paper's
 /// u_bw: each pipe contributes bandwidth × links-traversed (0 when both
 /// endpoints share a host).

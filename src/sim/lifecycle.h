@@ -1,0 +1,162 @@
+// sim::Lifecycle — event-driven cluster churn (DESIGN.md section 13).
+//
+// Every other experiment in this repository places into a fresh or
+// monotonically filling data center.  Lifecycle drives a
+// core::PlacementService the way a long-running cluster is driven: Poisson
+// stack arrivals, exponentially distributed per-stack lifetimes (departures
+// release resources through the service's release path), and optional
+// host failure/repair cycles — so occupancy fragments realistically and
+// the fragmentation metrics / defragmentation planner have something real
+// to measure and fix.
+//
+// Determinism: the simulator runs on *simulated* time with a single
+// min-heap of events ordered by (time, insertion sequence); all randomness
+// flows through util::Rng streams forked from one seed, so a fixed
+// LifecycleConfig reproduces the identical event sequence bit for bit.
+// Wall-clock time is only ever *measured* (per-plan latency samples), never
+// used for control flow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/defrag.h"
+#include "core/service.h"
+#include "datacenter/fragmentation.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ostro::sim {
+
+struct LifecycleConfig {
+  /// Poisson stack arrival rate, stacks per simulated second.
+  double arrival_rate_per_s = 0.5;
+  /// Mean exponential stack lifetime, simulated seconds.
+  double mean_lifetime_s = 600.0;
+  /// Per-host mean time between failures, simulated seconds (0 = no
+  /// failures).  The cluster-wide failure rate is host_count / MTBF.
+  double host_mtbf_s = 0.0;
+  /// Downtime of a failed host before repair, simulated seconds.
+  double host_repair_s = 120.0;
+  /// Simulated horizon; events past it are dropped.
+  double duration_s = 3600.0;
+  /// VMs per arriving multi-tier stack (positive multiple of 5).
+  int stack_vms = 10;
+  /// VM requirement mix of arriving stacks.
+  RequirementMix mix = RequirementMix::kHeterogeneous;
+  /// Placement algorithm for arrivals.
+  core::Algorithm algorithm = core::Algorithm::kEg;
+  /// Master seed; every stochastic stream forks from it.
+  std::uint64_t seed = 42;
+  /// Run the DefragPlanner every defrag_interval_s simulated seconds.
+  bool defrag = false;
+  double defrag_interval_s = 60.0;
+  core::DefragConfig defrag_config;
+  /// Fragmentation sampling period (trajectory resolution).
+  double sample_interval_s = 30.0;
+  /// Reference VM shape for the fragmentation metrics.
+  topo::Resources reference_vm = {2.0, 2.0, 0.0};
+};
+
+/// One fragmentation sample along the run.
+struct TrajectoryPoint {
+  double time_s = 0.0;
+  double frag_index = 0.0;
+  /// Free-cpu slivers too small for the reference VM — cpu is the binding
+  /// dimension of the Table III classes, so this is the most sensitive
+  /// member of the family (frag_index is usually dominated by structural
+  /// memory stranding from the host cpu:mem shape).
+  double unusable_free_cpu_fraction = 0.0;
+  double used_cpu_fraction = 0.0;
+  double feasible_host_fraction = 0.0;
+  std::size_t live_stacks = 0;
+  std::size_t active_hosts = 0;
+};
+
+struct LifecycleStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t placements_committed = 0;
+  std::uint64_t placements_failed = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t host_failures = 0;
+  std::uint64_t host_repairs = 0;
+  std::uint64_t stacks_killed = 0;  ///< evicted by host failures
+  std::uint64_t defrag_runs = 0;
+  std::uint64_t defrag_moves = 0;
+  /// Wall-clock seconds per placement attempt (plan + commit gate).
+  util::Samples plan_seconds;
+  std::vector<TrajectoryPoint> trajectory;
+  dc::FragmentationStats final_frag;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return arrivals == 0 ? 1.0
+                         : static_cast<double>(placements_committed) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+class Lifecycle {
+ public:
+  /// `service` must outlive the simulator.  The simulator owns the stack
+  /// registry it maintains through the service's lifecycle entry points.
+  Lifecycle(core::PlacementService& service, LifecycleConfig config);
+
+  /// Runs the event loop to the horizon and returns the collected stats.
+  /// Single-shot: construct a fresh Lifecycle per run.
+  LifecycleStats run();
+
+  /// The registry of stacks still live (inspectable after run(); the
+  /// differential soak test releases them all and compares against a fresh
+  /// occupancy).
+  [[nodiscard]] core::StackRegistry& registry() noexcept { return registry_; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kArrival,
+    kDeparture,
+    kHostFailure,
+    kHostRepair,
+    kDefragTick,
+    kSample,
+  };
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< insertion order; the determinism tie-break
+    EventKind kind = EventKind::kArrival;
+    std::uint64_t payload = 0;  ///< stack id or host id
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void push(double time, EventKind kind, std::uint64_t payload);
+  [[nodiscard]] double exponential(util::Rng& rng, double mean);
+
+  void on_arrival(double now, LifecycleStats& stats);
+  void on_departure(core::StackId id, LifecycleStats& stats);
+  void on_host_failure(double now, LifecycleStats& stats);
+  void on_host_repair(dc::HostId host, LifecycleStats& stats);
+  void on_sample(double now, LifecycleStats& stats);
+
+  core::PlacementService* service_;
+  LifecycleConfig config_;
+  core::StackRegistry registry_;
+  core::DefragPlanner defrag_;
+  util::Rng arrival_rng_;
+  util::Rng lifetime_rng_;
+  util::Rng workload_rng_;
+  util::Rng failure_rng_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::uint64_t next_seq_ = 0;
+  core::StackId next_stack_id_ = 1;
+  /// Quarantine load per currently failed host (kInvalidHost slots unused).
+  std::vector<topo::Resources> quarantine_;
+  std::vector<char> failed_;
+};
+
+}  // namespace ostro::sim
