@@ -8,11 +8,12 @@
 #   2. Every metrics counter/summary registered in src/ or tools/ — the
 #      README metrics glossary documents each name.  bench/-local metrics
 #      (bench.*) are out of scope: they are bench implementation detail.
-#   3. Every field of core::DefragConfig (src/core/defrag.h) and
-#      sim::LifecycleConfig (src/sim/lifecycle.h) — the lifecycle &
-#      defragmentation docs document each knob.
-#   4. Every flag bench_lifecycle declares itself (beyond the common bench
-#      flags) — the README lifecycle section lists them.
+#   3. Every field of core::DefragConfig (src/core/defrag.h),
+#      sim::LifecycleConfig (src/sim/lifecycle.h), and core::ShardConfig
+#      (src/core/shard_router.h) — the lifecycle/defragmentation and shard
+#      docs document each knob.
+#   4. Every flag bench_lifecycle and bench_shard declare themselves
+#      (beyond the common bench flags) — the README lists them.
 #
 # Exits non-zero listing every undocumented token, so a PR adding a config
 # knob or a counter without documenting it fails CI.
@@ -48,7 +49,8 @@ struct_fields() {
     sed -E 's/^\s*\S+\s+([a-z_][a-z0-9_]*)\s*(=|;).*/\1/' | sort -u
 }
 
-for spec in "src/core/defrag.h DefragConfig" "src/sim/lifecycle.h LifecycleConfig"; do
+for spec in "src/core/defrag.h DefragConfig" "src/sim/lifecycle.h LifecycleConfig" \
+            "src/core/shard_router.h ShardConfig"; do
   read -r file name <<<"$spec"
   fields=$(struct_fields "$file" "$name")
   if [[ -z "$fields" ]]; then
@@ -60,14 +62,16 @@ for spec in "src/core/defrag.h DefragConfig" "src/sim/lifecycle.h LifecycleConfi
   done
 done
 
-bench_flags=$(grep -hoE 'args\.add_(int|double|flag)\("[a-z-]+"' \
-    bench/bench_lifecycle.cpp | sed -E 's/.*\("([a-z-]+)".*/\1/' | sort -u)
-if [[ -z "$bench_flags" ]]; then
-  echo "extraction failure: no flags found in bench/bench_lifecycle.cpp" >&2
-  exit 1
-fi
-for flag in $bench_flags; do
-  check "bench_lifecycle flag" "--$flag"
+for bench in bench_lifecycle bench_shard; do
+  bench_flags=$(grep -hoE 'args\.add_(int|double|flag)\("[a-z-]+"' \
+      "bench/$bench.cpp" | sed -E 's/.*\("([a-z-]+)".*/\1/' | sort -u)
+  if [[ -z "$bench_flags" ]]; then
+    echo "extraction failure: no flags found in bench/$bench.cpp" >&2
+    exit 1
+  fi
+  for flag in $bench_flags; do
+    check "$bench flag" "--$flag"
+  done
 done
 
 metric_names=$(grep -rhoE '(counter|summary)\("[a-z_.]+"\)' src tools |

@@ -1,5 +1,6 @@
 #include "core/service.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "core/verify.h"
@@ -17,6 +18,11 @@ std::uint64_t PlacementService::epoch() const {
 dc::Occupancy PlacementService::snapshot() const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   return scheduler_->occupancy();
+}
+
+dc::FeasibilityIndex::Aggregate PlacementService::root_aggregate() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return scheduler_->occupancy().feasibility().root();
 }
 
 PlannedPlacement PlacementService::plan(const topo::AppTopology& topology,
@@ -314,8 +320,14 @@ std::size_t PlacementService::try_commit_migration(
         working[n] = member.to[n];
       }
       occupancy.apply_delta(delta);
-    } catch (const std::exception&) {
-      feasible = false;  // target no longer fits: the delta never flushed
+    } catch (const std::invalid_argument&) {
+      // Capacity/bandwidth reservation failure (the only exception the
+      // staged mutators throw for a target that no longer fits): the delta
+      // never flushed, so the member is a benign conflict.  Anything else
+      // (std::out_of_range from a corrupt host id, std::logic_error from a
+      // stale delta) is a programming error and must propagate, not be
+      // miscounted as contention.
+      feasible = false;
     }
     if (!feasible) {
       m_conflicts.inc();

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -103,6 +104,42 @@ class PlacementService {
 
   /// Current occupancy mutation epoch (shared lock).
   [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Root feasibility aggregate of the live occupancy (shared lock).  The
+  /// ShardRouter scores shards from this without copying a snapshot.
+  [[nodiscard]] dc::FeasibilityIndex::Aggregate root_aggregate() const;
+
+  /// Writer-lock session for an external multi-service transaction (the
+  /// ShardRouter's cross-shard two-phase commit): holds this service's
+  /// exclusive lock for its lifetime and exposes the live occupancy for
+  /// direct staged mutation.  Every other service call path blocks while a
+  /// session is alive, so the holder is the sole mutator — keep it short,
+  /// and never call back into the service while holding one.
+  class ExclusiveSession {
+   public:
+    ExclusiveSession(ExclusiveSession&&) noexcept = default;
+    ExclusiveSession& operator=(ExclusiveSession&&) noexcept = default;
+    ExclusiveSession(const ExclusiveSession&) = delete;
+    ExclusiveSession& operator=(const ExclusiveSession&) = delete;
+
+    [[nodiscard]] dc::Occupancy& occupancy() noexcept {
+      return scheduler_->occupancy();
+    }
+
+   private:
+    friend class PlacementService;
+    ExclusiveSession(std::unique_lock<std::shared_mutex> lock,
+                     OstroScheduler& scheduler) noexcept
+        : lock_(std::move(lock)), scheduler_(&scheduler) {}
+
+    std::unique_lock<std::shared_mutex> lock_;
+    OstroScheduler* scheduler_;
+  };
+
+  /// Acquires the writer lock and returns the session guarding it.
+  [[nodiscard]] ExclusiveSession exclusive() {
+    return {std::unique_lock<std::shared_mutex>(mutex_), *scheduler_};
+  }
 
   /// Consistent copy of the live occupancy (shared lock held only for the
   /// copy).  Its version() carries the snapshot epoch.

@@ -190,6 +190,8 @@ std::size_t StreamingService::process_batch(
       util::metrics::counter("stream.committed");
   static util::metrics::Counter& m_failed =
       util::metrics::counter("stream.failed");
+  static util::metrics::Counter& m_errors =
+      util::metrics::counter("stream.dispatch_errors");
   static util::metrics::Summary& m_batch_size =
       util::metrics::summary("stream.batch_size");
   static util::metrics::Summary& m_wait =
@@ -246,6 +248,9 @@ std::size_t StreamingService::process_batch(
       pending.planned.placement = service_->scheduler().plan_against(
           snapshot, request.topology, request.algorithm, config_);
     } catch (...) {
+      // Non-std throws land here too; the promise is resolved exactly once
+      // and the dispatcher stays alive.
+      m_errors.inc();
       pending.entry.promise.set_exception(std::current_exception());
       ++completed;
       continue;
@@ -276,8 +281,11 @@ std::size_t StreamingService::process_batch(
   try {
     service_->try_commit_batch(members);
   } catch (...) {
+    // One dispatch error per failed member: every planned promise is
+    // resolved exactly once with the batch-commit exception, std or not.
     const auto error = std::current_exception();
     for (Pending& pending : planned) {
+      m_errors.inc();
       pending.entry.promise.set_exception(error);
       ++completed;
     }
@@ -315,6 +323,7 @@ std::size_t StreamingService::process_batch(
           result.service = service_->place_with(
               request.topology, request.algorithm, config_, request.committer);
         } catch (...) {
+          m_errors.inc();
           pending.entry.promise.set_exception(std::current_exception());
           ++completed;
           continue;

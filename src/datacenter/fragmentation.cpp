@@ -99,8 +99,14 @@ FragmentationStats compute_fragmentation(const Occupancy& occupancy,
                  static_cast<std::uint32_t>(
                      std::min<std::uint64_t>(rack_units, UINT32_MAX)));
   }
+  // Dispersion (coefficient of variation) of per-rack free CPU.  The
+  // degenerate cases — no racks at all, host-less racks only, or zero free
+  // CPU everywhere — must report 0, never the NaN a 0/0 mean would produce
+  // downstream in the frag.* summaries.
   const double rack_count = static_cast<double>(dc.racks().size());
-  if (rack_count > 0.0 && rack_sum > 0.0) {
+  if (rack_count <= 0.0 || rack_sum <= 0.0) {
+    stats.rack_free_cpu_cv = 0.0;
+  } else {
     const double mean = rack_sum / rack_count;
     const double variance =
         std::max(0.0, rack_sum_sq / rack_count - mean * mean);

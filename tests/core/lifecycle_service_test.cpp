@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "core/scheduler.h"
 #include "core/service.h"
@@ -202,6 +203,27 @@ TEST(LifecycleServiceTest, MigrationConflictsWhenTargetLacksCapacity) {
   EXPECT_EQ(batch.members[0].outcome,
             PlacementService::CommitOutcome::kConflict);
   EXPECT_TRUE(scheduler.occupancy() == before);
+}
+
+// Regression: only std::invalid_argument (a capacity/reservation failure)
+// may be downgraded to a per-member conflict.  A corrupt record — here an
+// out-of-range host id smuggled past StackRegistry::add, which validates
+// only id uniqueness and assignment size — must propagate as
+// std::out_of_range, not be silently miscounted as contention.
+TEST(LifecycleServiceTest, MigrationPropagatesNonCapacityExceptions) {
+  const auto datacenter = small_dc(1, 2);
+  OstroScheduler scheduler(datacenter, serial_config());
+  PlacementService service(scheduler);
+  StackRegistry registry;
+
+  const auto mover = one_vm(1.0);  // single node, no pipes
+  const dc::HostId bogus = 999;    // far beyond the 2-host cluster
+  registry.add(1, mover, {bogus});
+
+  PlacementService::MigrationBatch batch;
+  batch.members.push_back({1, mover, {bogus}, {0}});
+  EXPECT_THROW(service.try_commit_migration(batch, registry),
+               std::out_of_range);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "helpers.h"
 #include "net/reservation.h"
 #include "topology/app_topology.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -170,6 +171,40 @@ TEST(StreamTest, SubmitCommitsLikeDeploy) {
   EXPECT_EQ(result.spills, 0u);
   EXPECT_GT(result.service.commit_epoch, 0u);
   EXPECT_TRUE(scheduler.occupancy() == reference.occupancy());
+}
+
+// Regression for the dispatcher's catch (...) blocks: a committer throwing
+// a NON-std type must resolve the member's promise exactly once with that
+// exception, leave the occupancy untouched, keep the dispatcher alive, and
+// count one stream.dispatch_errors.
+TEST(StreamTest, NonStdCommitterThrowResolvesPromiseOnceAndCounts) {
+  struct Boom {};  // deliberately not derived from std::exception
+  util::metrics::set_enabled(true);
+  util::metrics::Counter& errors =
+      util::metrics::counter("stream.dispatch_errors");
+  errors.reset();
+
+  const auto datacenter = small_dc(2, 2);
+  const SearchConfig config = stream_config();
+  OstroScheduler scheduler(datacenter, config);
+  PlacementService service(scheduler);
+  StreamingService stream(service, config, /*start_dispatchers=*/false);
+
+  StreamRequest request = request_for(tiny_app());
+  request.committer = [](const Placement&, std::string&) -> bool {
+    throw Boom{};
+  };
+  auto future = stream.submit(std::move(request));
+  EXPECT_EQ(stream.dispatch_once(), 1u);
+  EXPECT_THROW(future.get(), Boom);
+  EXPECT_EQ(errors.value(), 1u);
+  // The throw happened before any commit: nothing leaked into the state,
+  // and the dispatcher is healthy enough to serve the next request.
+  EXPECT_TRUE(scheduler.occupancy() == dc::Occupancy(datacenter));
+  auto next = stream.submit(request_for(tiny_app()));
+  EXPECT_EQ(stream.dispatch_once(), 1u);
+  EXPECT_EQ(next.get().status, StreamStatus::kCommitted);
+  EXPECT_EQ(errors.value(), 1u);  // healthy dispatches add nothing
 }
 
 TEST(StreamTest, FullQueueRejectsImmediately) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "datacenter/occupancy.h"
 #include "helpers.h"
 
@@ -89,6 +91,35 @@ TEST(FragmentationTest, DispersionRisesWhenFreeCpuConcentrates) {
   const FragmentationStats skewed = compute_fragmentation(occupancy);
   EXPECT_GT(skewed.rack_free_cpu_cv, even.rack_free_cpu_cv);
   EXPECT_DOUBLE_EQ(skewed.rack_free_cpu_cv, 1.0);  // one rack 16, one 0
+}
+
+// Regression: a host-less rack combined with zero free CPU anywhere drove
+// the dispersion mean to 0/0 — every frag.* consumer downstream (the
+// lifecycle reports via observe_fragmentation) then saw NaN.  The
+// degenerate case must report exactly 0.
+TEST(FragmentationTest, HostlessRackWithNoFreeCpuReportsZeroNotNaN) {
+  DataCenterBuilder builder;
+  const auto site = builder.add_site("site0", 16000.0);
+  const auto pod = builder.add_pod(site, "pod0", 16000.0);
+  const auto rack0 = builder.add_rack(pod, "rack0", 4000.0);
+  builder.add_rack(pod, "rack1-empty", 4000.0);  // host-less rack
+  builder.add_host(rack0, "h0", {8.0, 16.0, 500.0}, 1000.0);
+  const DataCenter datacenter = builder.build();
+
+  Occupancy occupancy(datacenter);
+  occupancy.add_host_load(0, {8.0, 16.0, 500.0});  // zero free CPU anywhere
+
+  // Both entry points — the raw computation and the metrics-observing path
+  // the lifecycle reports go through — must yield finite stats.
+  for (const FragmentationStats& stats :
+       {compute_fragmentation(occupancy, {2.0, 2.0, 0.0}),
+        observe_fragmentation(occupancy, {2.0, 2.0, 0.0})}) {
+    EXPECT_DOUBLE_EQ(stats.rack_free_cpu_cv, 0.0);
+    EXPECT_FALSE(std::isnan(stats.rack_free_cpu_cv));
+    EXPECT_FALSE(std::isnan(stats.frag_index));
+    EXPECT_FALSE(std::isnan(stats.stranded_uplink_fraction));
+    EXPECT_DOUBLE_EQ(stats.used_cpu_fraction, 1.0);
+  }
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 // `serve` is the daemon mode: newline-delimited JSON placement requests on
 // stdin (or a FIFO), NDJSON results out — see cmd_serve below.
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -33,6 +34,7 @@
 #include "core/placement_io.h"
 #include "core/scheduler.h"
 #include "core/service.h"
+#include "core/shard_router.h"
 #include "core/stream.h"
 #include "core/verify.h"
 #include "datacenter/dc_io.h"
@@ -137,6 +139,74 @@ int cmd_place_service(util::ArgParser& args, int threads) {
   return committed > 0 ? 0 : 2;
 }
 
+/// `place --shards N --service-threads T` — the sharded front end.  Routes
+/// T concurrent copies of the stack through a core::ShardRouter over an
+/// N-shard partition of the cluster; reports committed/cross-shard counts
+/// and, with --commit-out, the stitched global occupancy.  Sharded mode
+/// always starts from an idle cluster: shard occupancies are internal, so a
+/// pre-loaded --occupancy snapshot cannot be decomposed onto them.
+int cmd_place_shards(util::ArgParser& args, int threads,
+                     std::uint32_t shards) {
+  if (!args.get_string("occupancy").empty()) {
+    throw std::runtime_error(
+        "--shards > 1 starts from an idle cluster and cannot load an "
+        "--occupancy snapshot");
+  }
+  const auto datacenter =
+      dc::datacenter_from_text(read_file(args.get_string("datacenter")));
+  const auto parsed =
+      os::HeatTemplate::parse_text(read_file(args.get_string("template")));
+  const auto topology =
+      std::make_shared<const topo::AppTopology>(parsed.topology);
+
+  core::SearchConfig config;
+  config.theta_bw = args.get_double("theta-bw");
+  config.theta_c = args.get_double("theta-c");
+  config.deadline_seconds = args.get_double("deadline");
+  config.budget_mode = core::parse_budget_mode(args.get_string("budget"));
+  config.search_core = core::parse_search_core(args.get_string("search-core"));
+  config.use_prune_labels =
+      parse_on_off(args.get_string("use-prune-labels"), "use-prune-labels");
+  const auto algorithm = core::parse_algorithm(args.get_string("algorithm"));
+
+  core::ShardConfig shard_config;
+  shard_config.shards = shards;
+  core::ShardRouter router(datacenter, shard_config, config);
+
+  std::vector<core::ShardRouter::Result> results(
+      static_cast<std::size_t>(threads));
+  util::run_workers(static_cast<std::size_t>(threads), [&](std::size_t t) {
+    results[t] = router.place(topology, algorithm, config);
+  });
+
+  int committed = 0;
+  int cross_shard = 0;
+  std::uint32_t conflicts = 0, retries = 0;
+  for (int t = 0; t < threads; ++t) {
+    const core::ShardRouter::Result& result =
+        results[static_cast<std::size_t>(t)];
+    conflicts += result.service.conflicts;
+    retries += result.service.retries;
+    if (result.service.placement.committed) {
+      ++committed;
+      if (result.cross_shard) ++cross_shard;
+    } else {
+      std::cerr << "request " << t << " not committed: "
+                << result.service.placement.failure_reason << "\n";
+    }
+  }
+  std::cout << "router placed " << committed << "/" << threads
+            << " concurrent stacks across " << shards << " shards with "
+            << core::to_string(algorithm) << ": " << cross_shard
+            << " cross-shard, " << conflicts << " commit conflicts, "
+            << retries << " replans\n";
+  if (!args.get_string("commit-out").empty()) {
+    write_file(args.get_string("commit-out"),
+               dc::occupancy_to_json(router.stitched_snapshot()).pretty());
+  }
+  return committed > 0 ? 0 : 2;
+}
+
 int cmd_place(util::ArgParser& args) {
   const int service_threads =
       static_cast<int>(args.get_int("service-threads"));
@@ -145,6 +215,20 @@ int cmd_place(util::ArgParser& args) {
   if (service_threads < 0) {
     throw std::invalid_argument("--service-threads must be >= 0, got " +
                                 std::to_string(service_threads));
+  }
+  const std::int64_t shards = args.get_int("shards");
+  if (shards < 1) {
+    throw std::invalid_argument("--shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  if (shards > 1) {
+    if (service_threads == 0) {
+      throw std::invalid_argument(
+          "--shards > 1 requires --service-threads > 0 (the sharded front "
+          "end is a concurrent-service mode)");
+    }
+    return cmd_place_shards(args, service_threads,
+                            static_cast<std::uint32_t>(shards));
   }
   if (service_threads > 0) return cmd_place_service(args, service_threads);
   const auto datacenter =
@@ -506,6 +590,11 @@ int main(int argc, char** argv) {
     args.add_int("service-threads", 0,
                  "place this many copies of the stack concurrently through "
                  "the placement service (0 = classic single placement)");
+    args.add_int("shards", 1,
+                 "partition the data center into this many pod/site shards "
+                 "and route placements through the sharded front end "
+                 "(requires --service-threads > 0 and an empty starting "
+                 "occupancy; 1 = unsharded)");
   }
   if (command == "serve") {
     args.add_string("in", "-",
